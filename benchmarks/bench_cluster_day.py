@@ -1,0 +1,68 @@
+"""A11: a dynamic "cluster day" — online arrivals, placement, departures.
+
+Beyond the paper's static launch: a Poisson stream of jobs placed online
+by a role-agnostic scheduler (colocation happens by chance, paper §II),
+with TensorLights attaching and detaching per job as §IV-B prescribes.
+Compares the paper's fix (end-host priorities) with its future-work fix
+(PS-aware placement) and shows they compose.
+"""
+
+from conftest import run_once
+
+from repro.cluster import SchedulingPolicy
+from repro.experiments.report import TextTable
+from repro.experiments.workloads import WorkloadSpec, generate_jobs, run_dynamic_cluster
+from repro.tensorlights import TLMode
+
+
+def test_a11_cluster_day(benchmark):
+    spec = WorkloadSpec(
+        n_jobs=16,
+        arrival_rate=0.8,
+        n_workers=10,
+        iterations_range=(8, 20),
+        local_batch_size=2,
+    )
+    jobs = generate_jobs(spec, seed=7)
+
+    def run_all():
+        out = {}
+        for label, sched, tls in (
+            ("random + FIFO", SchedulingPolicy.RANDOM, None),
+            ("random + TLs-One", SchedulingPolicy.RANDOM, TLMode.ONE),
+            ("random + TLs-RR", SchedulingPolicy.RANDOM, TLMode.RR),
+            ("ps-aware + FIFO", SchedulingPolicy.PS_AWARE, None),
+            ("ps-aware + TLs-One", SchedulingPolicy.PS_AWARE, TLMode.ONE),
+        ):
+            out[label] = run_dynamic_cluster(
+                jobs, n_hosts=11, link_rate=2.5e9 / 8,
+                scheduler_policy=sched, tensorlights=tls, seed=7,
+            )
+        return out
+
+    results = run_once(benchmark, run_all)
+
+    table = TextTable(
+        ["Scheduler + network policy", "Avg JCT (s)", "Norm", "Max PS coloc",
+         "tc reconfigs"],
+        title="A11: online cluster day (16 Poisson-arriving jobs, 10 hosts)",
+    )
+    base = results["random + FIFO"].avg_jct
+    for label, res in results.items():
+        table.add_row(label, res.avg_jct, res.avg_jct / base,
+                      res.max_colocation, res.tc_reconfigurations)
+    print()
+    print(table.render())
+
+    # TensorLights helps the oblivious scheduler.
+    assert results["random + TLs-One"].avg_jct < results["random + FIFO"].avg_jct
+    # PS-aware placement strictly reduces colocation.
+    assert (
+        results["ps-aware + FIFO"].max_colocation
+        <= results["random + FIFO"].max_colocation
+    )
+    # The combination is at least as good as placement alone.
+    assert (
+        results["ps-aware + TLs-One"].avg_jct
+        <= results["ps-aware + FIFO"].avg_jct * 1.02
+    )

@@ -1,0 +1,29 @@
+"""Supplementary: network-layer straggler view — model-update FCT tails.
+
+Not a paper figure; the network-level counterpart of Figure 6.  Under
+FIFO, the median model-update FCT itself sits near the collision-window
+tail; TensorLights pulls the median down (serialized bursts complete in
+their own serialization time) while its p99 reflects the lowest band.
+"""
+
+from conftest import run_once
+
+from repro.experiments.config import Policy
+
+
+def test_fct_tails(benchmark, bench_config):
+    from repro.experiments.figures import fct
+
+    cfg = bench_config.replace(iterations=max(10, bench_config.iterations // 2))
+    result = run_once(benchmark, lambda: fct.generate(cfg))
+    print()
+    print(result.render())
+
+    # FIFO's median FCT is inflated by interleaving: TLs cuts it sharply.
+    assert result.percentile(Policy.TLS_ONE, 50) < 0.5 * result.percentile(
+        Policy.FIFO, 50
+    )
+    # Every policy moves the same bytes; sanity on sample counts.
+    fifo_n = len(result.collectors[Policy.FIFO].fcts("model_update"))
+    tls_n = len(result.collectors[Policy.TLS_ONE].fcts("model_update"))
+    assert fifo_n == tls_n > 0

@@ -1,0 +1,22 @@
+"""Figure 1: the PS-architecture workflow (one PS, two workers).
+
+Reproduced as a measured message trace; the bench asserts the protocol
+invariants the schematic encodes: each worker gets its model update
+before it sends its gradient, and the barrier holds iteration i+1's
+broadcast until all of iteration i's gradients have arrived.
+"""
+
+from conftest import run_once
+
+
+def test_fig1_workflow_trace(benchmark, bench_config):
+    from repro.experiments.figures import fig1
+
+    result = run_once(
+        benchmark,
+        lambda: fig1.generate(bench_config, n_workers=2, iterations=2),
+    )
+    print()
+    print(result.render())
+    result.verify_protocol()  # raises on any Figure-1 violation
+    assert len(result.events) == 2 * 2 * 2  # 2 kinds x 2 workers x 2 iters

@@ -1,0 +1,23 @@
+"""Figure 2: JCT of 21 concurrent jobs under the Table I placements (FIFO).
+
+Paper shape: heavier PS colocation (lower placement index) gives higher
+average JCT; the gap between worst and best placements is large (paper:
+up to 75 %).
+"""
+
+from conftest import run_once
+
+
+def test_fig2_jct_under_placements(benchmark, bench_config):
+    from repro.experiments.figures import fig2
+
+    result = run_once(benchmark, lambda: fig2.generate(bench_config))
+    print()
+    print(result.render())
+
+    jcts = result.avg_jcts
+    # Shape: placement #1 (all PSes colocated) is the worst, #8 the best.
+    assert jcts[1] == max(jcts.values())
+    assert jcts[8] == min(jcts.values())
+    # Shape: the placement effect is large (paper: 75 %).
+    assert result.performance_gap > 0.30

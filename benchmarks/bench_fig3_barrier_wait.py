@@ -1,0 +1,20 @@
+"""Figure 3: barrier wait distributions, placement #1 vs #8 (FIFO).
+
+Paper shape: placement #1's per-barrier average wait is several times
+placement #8's (paper: 3.71x), and its variance even more so (4.37x).
+"""
+
+from conftest import run_once
+
+
+def test_fig3_barrier_wait_distributions(benchmark, bench_config):
+    from repro.experiments.figures import fig3
+
+    result = run_once(benchmark, lambda: fig3.generate(bench_config))
+    print()
+    print(result.render())
+
+    # Shape: heavy colocation inflates both the mean and variance of the
+    # barrier wait by a large factor.
+    assert result.avg_wait_ratio > 2.0
+    assert result.variance_ratio > 2.0

@@ -1,0 +1,37 @@
+"""Figure 4: the two-PS contention schedule under FIFO / TLs-One / TLs-RR.
+
+Paper shape (conceptual figure, reproduced as a measured trace): under
+FIFO the two jobs' fan-out bursts interleave and both complete at the tail
+of the contention window; under TensorLights the prioritized job's burst
+completes first (~half the window) while the other yields — with the same
+total completion time (work conservation).
+"""
+
+from conftest import run_once
+
+from repro.experiments.config import Policy
+
+
+def test_fig4_two_ps_schedule(benchmark, bench_config):
+    from repro.experiments.figures import fig4
+
+    result = run_once(
+        benchmark, lambda: fig4.generate(bench_config.replace(iterations=4))
+    )
+    print()
+    print(result.render())
+
+    fifo = result.spans[Policy.FIFO]
+    tls = result.spans[Policy.TLS_ONE]
+    assert len(fifo) == len(tls) == 2
+
+    # FIFO: bursts overlap substantially (interleaving).
+    window = max(s.last for s in fifo) - min(s.first for s in fifo)
+    assert result.overlap(Policy.FIFO) > 0.3 * window
+
+    # TLs-One: serialized — negligible overlap, and the prioritized job
+    # finishes well before the FIFO window would end.
+    assert result.overlap(Policy.TLS_ONE) < 0.1 * window
+    first_done = min(max(s.last for s in spans) for spans in ([tls[0]], [tls[1]]))
+    fifo_done = max(s.last for s in fifo) - min(s.first for s in fifo)
+    assert first_done - min(s.first for s in tls) < 0.75 * fifo_done

@@ -1,0 +1,27 @@
+"""Figure 5a: normalized JCT per placement (TLs-One / TLs-RR vs FIFO).
+
+Paper shape: large improvements where PSes are heavily colocated
+(placements #1-#3; paper: up to 27 % for TLs-One, 16 % for TLs-RR) and
+parity for placement #4 and above (work conservation preserves the
+no-contention cases).
+"""
+
+from conftest import run_once
+
+from repro.experiments.config import Policy
+
+
+def test_fig5a_normalized_jct_vs_placement(benchmark, bench_config):
+    from repro.experiments.figures import fig5a
+
+    result = run_once(benchmark, lambda: fig5a.generate(bench_config))
+    print()
+    print(result.render())
+
+    # Shape: meaningful improvement at the heaviest contention.
+    assert result.mean_normalized(1, Policy.TLS_ONE) < 0.92
+    assert result.mean_normalized(1, Policy.TLS_RR) < 0.95
+    # Shape: work conservation — parity for mild placements (#4+).
+    for placement in (4, 5, 6, 7, 8):
+        assert 0.94 < result.mean_normalized(placement, Policy.TLS_ONE) < 1.06
+        assert 0.94 < result.mean_normalized(placement, Policy.TLS_RR) < 1.06

@@ -1,0 +1,31 @@
+"""Figure 5b: normalized JCT vs local batch size (placement #1).
+
+Paper shape: a smaller local batch means more frequent updates, heavier
+contention, and a larger TensorLights improvement (paper: 31 % for
+TLs-One / 17 % for TLs-RR at the smallest batch); large batches are
+compute-bound and show parity.
+"""
+
+from conftest import run_once
+
+from repro.experiments.config import Policy
+
+
+def test_fig5b_batch_size_sweep(benchmark, bench_config):
+    from repro.experiments.figures import fig5b
+
+    result = run_once(benchmark, lambda: fig5b.generate(bench_config))
+    print()
+    print(result.render())
+
+    batches = sorted(result.results)
+    smallest, largest = batches[0], batches[-1]
+    # Shape: the improvement at the smallest batch exceeds the improvement
+    # at the largest batch (contention intensity knob).
+    assert (
+        result.mean_normalized(smallest, Policy.TLS_ONE)
+        < result.mean_normalized(largest, Policy.TLS_ONE)
+    )
+    assert result.mean_normalized(smallest, Policy.TLS_ONE) < 0.9
+    # Shape: compute-bound at the largest batch — parity.
+    assert 0.93 < result.mean_normalized(largest, Policy.TLS_ONE) < 1.07

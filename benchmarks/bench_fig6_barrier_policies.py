@@ -1,0 +1,30 @@
+"""Figure 6: barrier wait distributions under the three policies.
+
+Paper shape at placement #1: the *span* of per-barrier average waits
+widens under TensorLights (priorities differentiate jobs) while the
+median variance of barrier wait — the straggler indicator — drops
+substantially (paper median reduction: 40 % TLs-One, 30 % TLs-RR).
+
+Known divergence (documented in EXPERIMENTS.md): at our scaled contention
+point the *mean* variance rises under TensorLights because the lowest-
+priority band's bursts fragment across service cycles; the paper's
+testbed ran at lower network utilization where this tail is mild.
+"""
+
+from conftest import run_once
+
+from repro.experiments.config import Policy
+
+
+def test_fig6_barrier_wait_by_policy(benchmark, bench_config):
+    from repro.experiments.figures import fig6
+
+    result = run_once(benchmark, lambda: fig6.generate(bench_config))
+    print()
+    print(result.render())
+
+    # Shape: median variance drops sharply under both TensorLights modes.
+    assert result.variance_reduction(Policy.TLS_ONE, "median") > 0.25
+    assert result.variance_reduction(Policy.TLS_RR, "median") > 0.25
+    # Shape: the span of average waits widens (priority differentiation).
+    assert result.wait_span(Policy.TLS_ONE) > result.wait_span(Policy.FIFO)

@@ -1,0 +1,116 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+Not paper results — these track the event-loop, qdisc and CPU-model
+throughput so performance regressions in the substrate are visible.  They
+are the only benchmarks here that use multiple rounds (they are cheap and
+timing-noise-sensitive, unlike the deterministic macro experiments).
+"""
+
+from repro.cluster.cpu import ProcessorSharingCPU
+from repro.net.qdisc import HTBQdisc, PFifo, PortFilter
+from repro.sim import Simulator, Timeout
+
+import sys
+sys.path.insert(0, ".")  # conftest sibling import under pytest rootdir
+from tests.net.helpers import seg  # noqa: E402
+
+
+def test_event_loop_throughput(benchmark):
+    """Schedule-and-run of 50k bare events."""
+
+    def run():
+        sim = Simulator()
+        for i in range(50_000):
+            sim.schedule(i * 1e-6, lambda: None)
+        sim.run()
+        return sim.steps_executed
+
+    steps = benchmark(run)
+    assert steps == 50_000
+
+
+def test_process_switch_throughput(benchmark):
+    """10k generator-process context switches (Timeout yields)."""
+
+    def run():
+        sim = Simulator()
+
+        def ticker():
+            for _ in range(1000):
+                yield Timeout(1e-6)
+
+        for _ in range(10):
+            sim.spawn(ticker())
+        sim.run()
+        return sim.steps_executed
+
+    steps = benchmark(run)
+    assert steps >= 10_000
+
+
+def test_pfifo_throughput(benchmark):
+    """100k enqueue/dequeue pairs through the default FIFO."""
+    segments = [seg(1000, sport=5000 + (i % 32)) for i in range(1000)]
+
+    def run():
+        q = PFifo()
+        n = 0
+        for _ in range(100):
+            for s in segments:
+                q.enqueue(s, 0.0)
+            while q.dequeue(0.0) is not None:
+                n += 1
+        return n
+
+    assert benchmark(run) == 100_000
+
+
+def test_htb_throughput(benchmark):
+    """50k enqueue/dequeue pairs through the TensorLights HTB shape."""
+    filt = PortFilter()
+    segments = [seg(1000, sport=5000 + (i % 6)) for i in range(500)]
+
+    def build():
+        q = HTBQdisc(filter=filt, default_classid=15)
+        q.add_class(1, rate=1.25e9, ceil=1.25e9)
+        for band in range(6):
+            q.add_class(10 + band, rate=1.25e6, ceil=1.25e9,
+                        prio=band, parent=1)
+            filt.add_match(5000 + band, 10 + band)
+        return q
+
+    def run():
+        q = build()
+        n = 0
+        now = 0.0
+        for _ in range(100):
+            for s in segments:
+                q.enqueue(s, now)
+            while True:
+                out = q.dequeue(now)
+                if out is None:
+                    break
+                now += out.size / 1.25e9
+                n += 1
+        return n
+
+    assert benchmark(run) == 50_000
+
+
+def test_processor_sharing_churn(benchmark):
+    """5k job arrivals/departures on a processor-sharing CPU."""
+
+    def run():
+        sim = Simulator()
+        cpu = ProcessorSharingCPU(sim, cores=12)
+
+        def job(d):
+            yield cpu.run(d)
+
+        for i in range(5000):
+            sim.spawn(job(0.001 + (i % 7) * 1e-4))
+        sim.run()
+        return cpu.utilization_snapshot()
+
+    busy = benchmark(run)
+    assert busy > 0

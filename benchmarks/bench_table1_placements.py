@@ -1,0 +1,13 @@
+"""Table I: the eight PS placements for 21 concurrent jobs."""
+
+from conftest import run_once
+
+from repro.cluster.placement import TABLE1_PLACEMENTS
+from repro.experiments.figures import table1
+
+
+def test_table1_placements(benchmark):
+    result = run_once(benchmark, table1.generate)
+    print()
+    print(result.render())
+    assert len(result.rows) == len(TABLE1_PLACEMENTS) == 8

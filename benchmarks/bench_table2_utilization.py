@@ -1,0 +1,27 @@
+"""Table II: normalized CPU and NIC utilization under placement #1.
+
+Paper shape: TensorLights raises utilization across the board — worker
+CPU ~1.13x, NIC in/out ~1.20x, PS-host CPU ~1.04x — because workers spend
+less time blocked in the barrier and the NIC spends less time idle
+between serialized phases.
+"""
+
+from conftest import run_once
+
+from repro.experiments.config import Policy
+
+
+def test_table2_normalized_utilization(benchmark, bench_config):
+    from repro.experiments.figures import table2
+
+    result = run_once(benchmark, lambda: table2.generate(bench_config))
+    print()
+    print(result.render())
+
+    for policy in (Policy.TLS_ONE, Policy.TLS_RR):
+        # Shape: TensorLights never hurts utilization, and lifts the
+        # network side noticeably.
+        assert result.normalized(policy, "cpu", "worker") > 1.0
+        assert result.normalized(policy, "net_in", "all") > 1.05
+        assert result.normalized(policy, "net_out", "all") > 1.05
+        assert result.normalized(policy, "cpu", "ps") > 0.95

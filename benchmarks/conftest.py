@@ -1,0 +1,35 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures and prints
+the same rows/series the paper reports (captured in ``bench_output.txt``
+when run with ``pytest benchmarks/ --benchmark-only -s``).
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_ITERATIONS`` — sync iterations per job (default 20;
+  the paper runs 1500, see ExperimentConfig.paper_scale()).
+* ``REPRO_BENCH_SEED`` — experiment seed (default 42).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        iterations=int(os.environ.get("REPRO_BENCH_ITERATIONS", "20")),
+        seed=int(os.environ.get("REPRO_BENCH_SEED", "42")),
+    )
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    These are macro-benchmarks (each is a full cluster simulation); one
+    round is the meaningful unit, and determinism makes repeats redundant.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

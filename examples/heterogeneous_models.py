@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Heterogeneous jobs: size-aware priority assignment.
+
+The paper (§IV-B) notes that when concurrent jobs have *different* model
+sizes, "a higher priority can be assigned to a job with a smaller model
+update, so as to avoid head-of-line blocking from a job with larger model
+update."  This script trains three different models whose parameter
+servers share a host and compares the default arrival-order policy with
+the smallest-update-first policy, built directly on the library layers
+(cluster + applications + a custom-policy TensorLights controller).
+
+Run:  python examples/heterogeneous_models.py
+"""
+
+from repro import Cluster, DLApplication, JobSpec, Simulator, TensorLights, TLMode
+from repro.dl.model_zoo import get_model
+from repro.net.link import Link
+from repro.tensorlights import ArrivalOrderPolicy, SmallestUpdateFirstPolicy
+
+
+def build_and_run(policy, seed=3):
+    sim = Simulator(seed=seed)
+    cluster = Cluster(sim, n_hosts=9, link=Link(rate=1.25e9), window_jitter=0.5)
+
+    # Three jobs, *different* models: a tiny CIFAR net, a mid-size conv
+    # net and a parameter-heavy classic.  All PSes land on h00.
+    jobs = [
+        ("small", get_model("resnet32_cifar10"), 12),
+        ("medium", get_model("alexnet").scaled("alexnet-lite", 0.25, 0.02), 12),
+        ("large", get_model("vgg16").scaled("vgg-lite", 0.12, 0.004), 12),
+    ]
+    workers = [f"h{i:02d}" for i in range(1, 9)]
+    apps = []
+    controller = None
+    if policy is not None:
+        controller = TensorLights(cluster, mode=TLMode.ONE, policy=policy)
+    for name, model, iters in jobs:
+        spec = JobSpec(
+            job_id=name, model=model, n_workers=8, local_batch_size=4,
+            target_global_steps=iters * 8,
+        )
+        app = DLApplication(spec, cluster, ps_host="h00", worker_hosts=workers)
+        if controller is not None:
+            controller.attach(app)
+        apps.append(app)
+    for app in apps:
+        app.launch()
+    sim.run()
+    return {a.spec.job_id: a.metrics.jct for a in apps}
+
+
+def main() -> None:
+    fifo = build_and_run(None)
+    arrival = build_and_run(ArrivalOrderPolicy())
+    sizefirst = build_and_run(SmallestUpdateFirstPolicy())
+
+    print("Three colocated PSes with different model-update sizes:\n")
+    print(f"{'job':8s} {'update size':>12s} {'FIFO':>8s} {'arrival':>9s} {'small-1st':>10s}")
+    sizes = {"small": "1.8 MiB", "medium": "58 MiB", "large": "63 MiB"}
+    for job in ("small", "medium", "large"):
+        print(f"{job:8s} {sizes[job]:>12s} {fifo[job]:8.2f} "
+              f"{arrival[job]:9.2f} {sizefirst[job]:10.2f}")
+
+    def avg(d):
+        return sum(d.values()) / len(d)
+
+    print(f"\n{'average':8s} {'':>12s} {avg(fifo):8.2f} {avg(arrival):9.2f} "
+          f"{avg(sizefirst):10.2f}")
+    print(
+        "\nSmallest-update-first protects the small job from head-of-line\n"
+        "blocking behind the multi-megabyte updates of the big ones."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Multi-PS (sharded) jobs — the paper's §III general case.
+
+"In a more general case where one DL job has multiple PSes, each PS
+communicates with remote workers in a similar way."  This script trains
+one job whose model is sharded over several parameter servers and shows:
+
+1. colocated shards move the same bytes through the same NIC (aggregate
+   contention persists; only the interleaving granularity changes),
+2. *spreading* the shards across hosts divides the fan-out burst — the
+   multi-PS analogue of choosing a better placement,
+3. TensorLights treats all of a job's shard ports as one priority unit.
+
+Run:  python examples/sharded_ps.py
+"""
+
+from repro import Cluster, DLApplication, JobSpec, Simulator, TensorLights, TLMode
+from repro.dl.model_zoo import get_model
+from repro.net.link import Link
+
+
+def run(n_ps, ps_hosts, tls=False, n_jobs=4, seed=9):
+    sim = Simulator(seed=seed)
+    cluster = Cluster(sim, n_hosts=11, link=Link(rate=2.5e9 / 8),
+                      window_jitter=0.5, switch_buffer_bytes=2e6, rto=0.02)
+    model = get_model("resnet32_cifar10")
+    controller = TensorLights(cluster, mode=TLMode.ONE) if tls else None
+    workers = [f"h{i:02d}" for i in range(3, 11)]
+    apps = []
+    for j in range(n_jobs):
+        spec = JobSpec(f"job{j}", model, n_workers=8, local_batch_size=2,
+                       target_global_steps=12 * 8, n_ps=n_ps,
+                       arrival_time=0.05 * j)
+        app = DLApplication(spec, cluster, ps_host=ps_hosts,
+                            worker_hosts=workers)
+        if controller is not None:
+            controller.attach(app)
+        apps.append(app)
+        app.launch()
+    sim.run()
+    return sum(a.metrics.jct for a in apps) / len(apps)
+
+
+def main() -> None:
+    print("Four concurrent jobs, 8 workers each, 2.5 Gbps fabric.\n")
+    rows = [
+        ("1 PS, all jobs on h00 (FIFO)", run(1, "h00")),
+        ("2 colocated shards on h00 (FIFO)", run(2, "h00")),
+        ("2 shards spread h00+h01 (FIFO)", run(2, ["h00", "h01"])),
+        ("1 PS on h00 + TensorLights", run(1, "h00", tls=True)),
+        ("2 colocated shards + TensorLights", run(2, "h00", tls=True)),
+    ]
+    base = rows[0][1]
+    print(f"{'configuration':<36s} {'avg JCT':>8s} {'vs base':>8s}")
+    for label, jct in rows:
+        print(f"{label:<36s} {jct:8.2f} {jct / base:7.2f}x")
+
+    print(
+        "\nColocated shards move the same aggregate bytes (the smaller\n"
+        "shard messages interleave a bit more gracefully); spreading\n"
+        "shards across hosts halves each NIC's burst — a placement fix —\n"
+        "and TensorLights fixes what placement cannot."
+    )
+
+
+if __name__ == "__main__":
+    main()

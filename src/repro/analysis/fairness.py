@@ -1,0 +1,55 @@
+"""Fairness metrics for concurrent jobs.
+
+The paper motivates TLs-RR with grid-search fairness: "when all search
+instances have made similar progress, a DL engineer may compare the
+accuracy performance of concurrent grid-search instances" (§IV-C).  These
+metrics quantify that.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 = perfectly equal, 1/n = maximally unequal.
+
+    ``J = (sum x)^2 / (n * sum x^2)`` over non-negative values.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ConfigError("jain_index of zero values")
+    if (arr < 0).any():
+        raise ConfigError("jain_index requires non-negative values")
+    denom = arr.size * float(np.square(arr).sum())
+    if denom == 0:
+        return 1.0  # all zeros: equal
+    return float(arr.sum() ** 2 / denom)
+
+
+def progress_fairness(local_steps: Mapping[str, int]) -> float:
+    """Jain's index over per-job progress (global steps at an instant)."""
+    return jain_index(list(local_steps.values()))
+
+
+def spread(values: Sequence[float]) -> float:
+    """Max - min; the paper's visual 'finish spread' in Figure 5 scatters."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ConfigError("spread of zero values")
+    return float(arr.max() - arr.min())
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """std / mean — scale-free dispersion of JCTs."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ConfigError("cv of zero values")
+    mean = arr.mean()
+    if mean == 0:
+        raise ConfigError("cv undefined for zero mean")
+    return float(arr.std() / mean)

@@ -1,0 +1,84 @@
+"""Small statistics helpers used by the figure generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class Cdf:
+    """An empirical CDF over a sample set (the paper's Figures 3 and 6)."""
+
+    def __init__(self, samples: Sequence[float]) -> None:
+        arr = np.asarray(list(samples), dtype=float)
+        if arr.size == 0:
+            raise ConfigError("cannot build a CDF from zero samples")
+        self._sorted = np.sort(arr)
+
+    @property
+    def n(self) -> int:
+        return int(self._sorted.size)
+
+    def at(self, x: float) -> float:
+        """P(X <= x)."""
+        return float(np.searchsorted(self._sorted, x, side="right") / self.n)
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF (0 <= q <= 1)."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError(f"quantile must be in [0, 1], got {q}")
+        return float(np.quantile(self._sorted, q))
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    @property
+    def mean(self) -> float:
+        return float(self._sorted.mean())
+
+    def points(self, n_points: int = 50) -> list[tuple[float, float]]:
+        """(value, cumulative probability) pairs for plotting/printing."""
+        qs = np.linspace(0.0, 1.0, n_points)
+        return [(float(np.quantile(self._sorted, q)), float(q)) for q in qs]
+
+
+def percentile(samples: Sequence[float], p: float) -> float:
+    """p-th percentile (0-100) of a non-empty sample set."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ConfigError("percentile of zero samples")
+    return float(np.percentile(arr, p))
+
+
+@dataclass(frozen=True)
+class Description:
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+
+
+def describe(samples: Sequence[float]) -> Description:
+    """Summary statistics of a non-empty sample set."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ConfigError("describe of zero samples")
+    return Description(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        minimum=float(arr.min()),
+        p25=float(np.percentile(arr, 25)),
+        median=float(np.percentile(arr, 50)),
+        p75=float(np.percentile(arr, 75)),
+        maximum=float(arr.max()),
+    )

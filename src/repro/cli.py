@@ -1,0 +1,154 @@
+"""Command-line interface: regenerate any paper table/figure.
+
+Examples::
+
+    tensorlights table1
+    tensorlights fig2 --iterations 30
+    tensorlights fig5a --placements 1 4 8
+    tensorlights fig5b --batches 1 4 16
+    tensorlights table2 --seed 7
+    tensorlights run --placement 1 --policy tls-one   # one raw experiment
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.config import ExperimentConfig, Policy
+from repro.experiments.runner import run_experiment
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None, help="concurrent jobs")
+    parser.add_argument("--workers", type=int, default=None, help="workers per job")
+    parser.add_argument("--iterations", type=int, default=None,
+                        help="sync iterations per job (paper: 1500)")
+    parser.add_argument("--batch", type=int, default=None, help="local batch size")
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--sample-interval", type=float, default=None,
+                        help="telemetry sampling period (table2)")
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="full 30000 global steps (slow)")
+
+
+def _config(args: argparse.Namespace) -> ExperimentConfig:
+    cfg = (ExperimentConfig.paper_scale() if getattr(args, "paper_scale", False)
+           else ExperimentConfig())
+    overrides = {}
+    if args.jobs is not None:
+        overrides["n_jobs"] = args.jobs
+    if args.workers is not None:
+        overrides["n_workers"] = args.workers
+    if args.iterations is not None:
+        overrides["iterations"] = args.iterations
+    if args.batch is not None:
+        overrides["local_batch_size"] = args.batch
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if getattr(args, "sample_interval", None) is not None:
+        overrides["sample_interval"] = args.sample_interval
+    return cfg.replace(**overrides) if overrides else cfg
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point: parse arguments and dispatch to a figure/run command."""
+    # Behave like a well-mannered CLI in pipelines (`tensorlights ... | head`).
+    try:
+        import signal
+
+        signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+    except (ImportError, AttributeError, ValueError):  # pragma: no cover
+        pass  # non-POSIX platform or non-main thread (tests)
+    parser = argparse.ArgumentParser(
+        prog="tensorlights",
+        description="TensorLights (IPDPS 2019) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in ("table1", "fig1", "fig2", "fig3", "fig4", "fig5a", "fig5b",
+                 "fig6", "table2", "fct"):
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        if name != "table1":
+            _add_common(p)
+        if name in ("fig2", "fig5a"):
+            p.add_argument("--placements", type=int, nargs="+",
+                           default=[1, 2, 3, 4, 5, 6, 7, 8])
+        if name == "fig5b":
+            p.add_argument("--batches", type=int, nargs="+",
+                           default=[1, 2, 4, 8, 16])
+
+    p = sub.add_parser("run", help="run one raw experiment")
+    _add_common(p)
+    p.add_argument("--placement", type=int, default=1, help="Table I index")
+    p.add_argument("--policy", choices=[pol.value for pol in Policy],
+                   default="fifo")
+    p.add_argument("--export", choices=["json", "csv"], default=None,
+                   help="print machine-readable results instead of the summary")
+    p.add_argument("--output", type=str, default=None,
+                   help="write the export to a file instead of stdout")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "table1":
+        from repro.experiments.figures import table1
+
+        print(table1.generate().render())
+        return 0
+
+    cfg = _config(args)
+    if args.command == "run":
+        cfg = cfg.replace(placement_index=args.placement,
+                          policy=Policy(args.policy))
+        res = run_experiment(cfg)
+        if args.export is not None:
+            from repro.experiments.export import to_csv, to_json
+
+            text = to_json([res]) if args.export == "json" else to_csv([res])
+            if args.output:
+                with open(args.output, "w") as fh:
+                    fh.write(text)
+                print(f"wrote {args.export} export to {args.output}")
+            else:
+                print(text)
+            return 0
+        print(f"placement #{args.placement} policy={args.policy}")
+        print(f"  avg JCT   : {res.avg_jct:.3f} s")
+        print(f"  makespan  : {res.makespan:.3f} s")
+        print(f"  barrier wait mean     : {res.barrier_wait_means().mean():.4f} s")
+        print(f"  barrier wait variance : {res.barrier_wait_variances().mean():.6f} s^2")
+        print(f"  sim events: {res.sim_events}  wall: {res.wall_seconds:.1f} s")
+        for cmd in res.tc_commands:
+            print(f"  {cmd}")
+        return 0
+
+    from repro.experiments.figures import (
+        fct, fig1, fig2, fig3, fig4, fig5a, fig5b, fig6, table2,
+    )
+
+    if args.command == "fig1":
+        result = fig1.generate(cfg)
+        print(result.render())
+        result.verify_protocol()
+    elif args.command == "fig2":
+        print(fig2.generate(cfg, placements=tuple(args.placements)).render())
+    elif args.command == "fig3":
+        print(fig3.generate(cfg).render())
+    elif args.command == "fig4":
+        print(fig4.generate(cfg).render())
+    elif args.command == "fig5a":
+        print(fig5a.generate(cfg, placements=tuple(args.placements)).render())
+    elif args.command == "fig5b":
+        print(fig5b.generate(cfg, batch_sizes=tuple(args.batches)).render())
+    elif args.command == "fig6":
+        print(fig6.generate(cfg).render())
+    elif args.command == "table2":
+        print(table2.generate(cfg).render())
+    elif args.command == "fct":
+        print(fct.generate(cfg).render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

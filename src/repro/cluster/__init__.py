@@ -1,0 +1,27 @@
+"""Compute-cluster substrate: hosts, CPUs, tasks, placement, scheduling.
+
+Models the paper's 21-host testbed and the YARN/Borg-style task placement
+that produces PS colocation in the first place (paper §II, "Distributed DL
+at scale").
+"""
+
+from repro.cluster.cpu import ProcessorSharingCPU
+from repro.cluster.host import Host
+from repro.cluster.placement import (
+    TABLE1_PLACEMENTS,
+    PlacementSpec,
+    placement_by_index,
+)
+from repro.cluster.scheduler import ClusterScheduler, SchedulingPolicy
+from repro.cluster.cluster import Cluster
+
+__all__ = [
+    "Cluster",
+    "ClusterScheduler",
+    "Host",
+    "PlacementSpec",
+    "ProcessorSharingCPU",
+    "SchedulingPolicy",
+    "TABLE1_PLACEMENTS",
+    "placement_by_index",
+]

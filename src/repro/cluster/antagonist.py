@@ -1,0 +1,128 @@
+"""Background-load antagonists: noisy neighbors for robustness studies.
+
+Production hosts are rarely quiet (paper §II: "a machine may be scheduled
+to host a mixture of different tasks").  These injectors occupy CPU cores
+or NIC bandwidth with non-DL traffic so experiments can ask: does the
+TensorLights result survive interference that it cannot schedule?
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import ConfigError
+from repro.net.addressing import FlowKey
+from repro.net.packet import Message
+from repro.sim.process import Timeout
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.host import Host
+
+_antagonist_ports = itertools.count(60_000)
+
+
+class CpuAntagonist:
+    """Keeps ``intensity`` cores' worth of CPU demand running on a host.
+
+    Implemented as a periodic submitter: every ``period`` seconds it
+    submits ``intensity x period`` core-seconds of work, approximating a
+    continuous background load under the processor-sharing model.
+    """
+
+    def __init__(
+        self,
+        host: "Host",
+        intensity: float = 1.0,
+        period: float = 0.1,
+    ) -> None:
+        if intensity <= 0:
+            raise ConfigError("antagonist intensity must be positive")
+        if period <= 0:
+            raise ConfigError("antagonist period must be positive")
+        self.host = host
+        self.intensity = intensity
+        self.period = period
+        self._running = False
+        self.work_submitted = 0.0
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.host.sim.spawn(self._loop(), name=f"cpu-antagonist/{self.host.host_id}")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _loop(self):
+        cpu = self.host.cpu
+        while self._running:
+            demand = self.intensity * self.period
+            self.work_submitted += demand
+            # fire-and-forget: the chunk runs concurrently with DL tasks
+            self.host.sim.spawn(
+                (lambda d=demand: (yield cpu.run(d)))(),
+                name=f"antagonist-chunk/{self.host.host_id}",
+            )
+            yield Timeout(self.period)
+
+
+class NetworkAntagonist:
+    """Streams background traffic from ``src`` to ``dst`` at ``rate`` B/s.
+
+    Sends back-to-back messages sized ``rate x period`` so the load is
+    smooth at the NIC timescale.  The traffic is ordinary unclassified
+    traffic: under TensorLights it lands in the lowest-priority band, like
+    any non-DL flow on the host.
+    """
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        src: str,
+        dst: str,
+        rate: float,
+        period: float = 0.05,
+    ) -> None:
+        if rate <= 0:
+            raise ConfigError("antagonist rate must be positive")
+        if src == dst:
+            raise ConfigError("antagonist src == dst")
+        self.cluster = cluster
+        self.src = src
+        self.dst = dst
+        self.rate = rate
+        self.period = period
+        self.src_port = next(_antagonist_ports)
+        self.dst_port = next(_antagonist_ports)
+        self.bytes_offered = 0
+        self.messages_delivered = 0
+        self._running = False
+        cluster.host(dst).transport.listen(self.dst_port, self._on_delivery)
+
+    def _on_delivery(self, msg: Message) -> None:
+        self.messages_delivered += 1
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.cluster.sim.spawn(
+            self._loop(), name=f"net-antagonist/{self.src}->{self.dst}"
+        )
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _loop(self):
+        transport = self.cluster.host(self.src).transport
+        size = max(1, int(self.rate * self.period))
+        flow = FlowKey(self.src, self.src_port, self.dst, self.dst_port)
+        while self._running:
+            transport.send_message(
+                Message(flow=flow, size=size, kind="background")
+            )
+            self.bytes_offered += size
+            yield Timeout(self.period)

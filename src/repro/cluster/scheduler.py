@@ -1,0 +1,131 @@
+"""Cluster scheduler: assigns PS and worker tasks to hosts.
+
+The baseline scheduler mimics YARN/Borg as described in the paper §II: it
+is *agnostic of task functionality* (PS vs worker), so PS colocation
+occurs naturally.  Policies:
+
+* ``explicit`` — reproduce a Table I :class:`PlacementSpec` exactly (used
+  by every paper experiment);
+* ``random`` — place each PS on a uniformly random host (what an
+  oblivious scheduler effectively does);
+* ``pack`` — fill hosts in order (bin-packing by request count);
+* ``spread`` — least-loaded host first;
+* ``ps_aware`` — the paper's §VII future-work extension: like ``spread``
+  but counts only *PS* tasks when balancing, guaranteeing minimal PS
+  colocation.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.cluster.placement import PlacementSpec
+from repro.errors import PlacementError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.rng import RandomStreams
+
+
+class SchedulingPolicy(str, enum.Enum):
+    """How the cluster scheduler picks a PS host (see module docstring)."""
+
+    EXPLICIT = "explicit"
+    RANDOM = "random"
+    PACK = "pack"
+    SPREAD = "spread"
+    PS_AWARE = "ps_aware"
+
+
+class ClusterScheduler:
+    """Chooses a PS host per job; workers go one-per-host elsewhere."""
+
+    def __init__(
+        self,
+        host_ids: Sequence[str],
+        policy: SchedulingPolicy = SchedulingPolicy.EXPLICIT,
+        rng: Optional["RandomStreams"] = None,
+    ) -> None:
+        if not host_ids:
+            raise PlacementError("scheduler needs at least one host")
+        self.host_ids = list(host_ids)
+        self.policy = policy
+        self.rng = rng
+        # load accounting: total tasks and PS tasks per host
+        self.task_load: Dict[str, int] = {h: 0 for h in self.host_ids}
+        self.ps_load: Dict[str, int] = {h: 0 for h in self.host_ids}
+
+    # -- PS host selection ------------------------------------------------
+
+    def ps_hosts_for_placement(self, spec: PlacementSpec) -> List[str]:
+        """PS host id for each job index under an explicit placement."""
+        if spec.n_ps_hosts > len(self.host_ids):
+            raise PlacementError(
+                f"placement needs {spec.n_ps_hosts} PS hosts, cluster has "
+                f"{len(self.host_ids)}"
+            )
+        hosts = []
+        for job_idx in range(spec.n_jobs):
+            host = self.host_ids[spec.ps_host_of_job(job_idx)]
+            hosts.append(host)
+            self._account_ps(host)
+        return hosts
+
+    def pick_ps_host(self) -> str:
+        """Choose a PS host under the dynamic (non-explicit) policies."""
+        if self.policy == SchedulingPolicy.EXPLICIT:
+            raise PlacementError(
+                "explicit policy requires ps_hosts_for_placement(spec)"
+            )
+        if self.policy == SchedulingPolicy.RANDOM:
+            if self.rng is None:
+                raise PlacementError("random policy requires an rng")
+            idx = int(self.rng.stream("scheduler").integers(0, len(self.host_ids)))
+            host = self.host_ids[idx]
+        elif self.policy == SchedulingPolicy.PACK:
+            host = self.host_ids[0]
+            # first host that is the current minimum insertion point: fill
+            # in id order, moving on only grows load unboundedly — pack
+            # simply always picks the first host.
+        elif self.policy == SchedulingPolicy.SPREAD:
+            host = min(self.host_ids, key=lambda h: (self.task_load[h], h))
+        elif self.policy == SchedulingPolicy.PS_AWARE:
+            host = min(self.host_ids, key=lambda h: (self.ps_load[h], h))
+        else:  # pragma: no cover - enum is exhaustive
+            raise PlacementError(f"unknown policy {self.policy}")
+        self._account_ps(host)
+        return host
+
+    def _account_ps(self, host: str) -> None:
+        self.task_load[host] += 1
+        self.ps_load[host] += 1
+
+    # -- worker placement ------------------------------------------------------
+
+    def worker_hosts(self, ps_host: str, n_workers: int) -> List[str]:
+        """One worker per host over all hosts except the PS host.
+
+        Matches the paper: "its 20 workers are distributed evenly on the
+        rest of 20 hosts, so that each host has one worker task [per job]".
+        """
+        candidates = [h for h in self.host_ids if h != ps_host]
+        if n_workers > len(candidates):
+            raise PlacementError(
+                f"{n_workers} workers need {n_workers} non-PS hosts, have "
+                f"{len(candidates)}"
+            )
+        chosen = candidates[:n_workers]
+        for h in chosen:
+            self.task_load[h] += 1
+        return chosen
+
+    def release_job(self, ps_host: str, worker_hosts: Sequence[str]) -> None:
+        """Return a finished job's load accounting."""
+        self.task_load[ps_host] -= 1
+        self.ps_load[ps_host] -= 1
+        for h in worker_hosts:
+            self.task_load[h] -= 1
+
+    def colocation_profile(self) -> List[int]:
+        """Current PS-colocation group sizes (Table I notation), sorted."""
+        return sorted(v for v in self.ps_load.values() if v > 0)

@@ -1,0 +1,145 @@
+"""Wires one DL job onto the cluster: PS(es) + workers + processes + metrics."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union, TYPE_CHECKING
+
+from repro.dl.job import JobSpec
+from repro.dl.metrics import JobMetrics
+from repro.dl.tasks import PSTask, TaskEndpoint, WorkerTask
+from repro.errors import PlacementError
+from repro.sim.primitives import AllOf, Signal
+from repro.sim.process import Timeout
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+
+
+class DLApplication:
+    """A deployed distributed DL job.
+
+    Construction allocates ports and registers listeners; :meth:`launch`
+    spawns the PS and worker processes (honoring ``spec.arrival_time``).
+
+    ``ps_host`` may be a single host id (the common 1-PS case) or a list
+    of ``spec.n_ps`` host ids for sharded jobs (repeats allowed: several
+    shards may share a host).  Each PS's listening port — see
+    :attr:`ps_ports` — is the key TensorLights uses to classify the job's
+    model-update traffic.
+    """
+
+    def __init__(
+        self,
+        spec: JobSpec,
+        cluster: "Cluster",
+        ps_host: Union[str, Sequence[str]],
+        worker_hosts: List[str],
+    ) -> None:
+        if len(worker_hosts) != spec.n_workers:
+            raise PlacementError(
+                f"{spec.job_id}: {spec.n_workers} workers but "
+                f"{len(worker_hosts)} worker hosts"
+            )
+        ps_hosts = [ps_host] if isinstance(ps_host, str) else list(ps_host)
+        if len(ps_hosts) == 1 and spec.n_ps > 1:
+            ps_hosts = ps_hosts * spec.n_ps
+        if len(ps_hosts) != spec.n_ps:
+            raise PlacementError(
+                f"{spec.job_id}: {spec.n_ps} PSes but {len(ps_hosts)} PS hosts"
+            )
+        overlap = set(ps_hosts) & set(worker_hosts)
+        if overlap:
+            raise PlacementError(
+                f"{spec.job_id}: hosts {sorted(overlap)} are both PS and "
+                "worker hosts"
+            )
+        self.spec = spec
+        self.cluster = cluster
+        self.metrics = JobMetrics(
+            job_id=spec.job_id,
+            n_workers=spec.n_workers,
+            arrival_time=spec.arrival_time,
+        )
+
+        self.ps_endpoints: List[TaskEndpoint] = []
+        for hid in ps_hosts:
+            machine = cluster.host(hid)
+            self.ps_endpoints.append(TaskEndpoint(machine, machine.allocate_port()))
+
+        self.worker_endpoints: List[TaskEndpoint] = []
+        for whost in worker_hosts:
+            machine = cluster.host(whost)
+            self.worker_endpoints.append(
+                TaskEndpoint(machine, machine.allocate_port())
+            )
+
+        self.ps_tasks = [
+            PSTask(spec, ep, self.worker_endpoints, self.metrics, shard_index=i)
+            for i, ep in enumerate(self.ps_endpoints)
+        ]
+        self.workers = [
+            WorkerTask(spec, i, ep, self.ps_endpoints, self.metrics)
+            for i, ep in enumerate(self.worker_endpoints)
+        ]
+        for ep, ps in zip(self.ps_endpoints, self.ps_tasks):
+            ep.host.add_task(ps)
+        for ep, wk in zip(self.worker_endpoints, self.workers):
+            ep.host.add_task(wk)
+
+        #: fired with the job's JobMetrics when every PS shard has finished
+        self.done = Signal()
+        self._launched = False
+
+    # -- convenience (single-PS common case) --------------------------------
+
+    @property
+    def ps(self) -> PSTask:
+        """The (first) PS task."""
+        return self.ps_tasks[0]
+
+    @property
+    def ps_endpoint(self) -> TaskEndpoint:
+        return self.ps_endpoints[0]
+
+    @property
+    def ps_host_id(self) -> str:
+        return self.ps_endpoints[0].host_id
+
+    @property
+    def ps_port(self) -> int:
+        return self.ps_endpoints[0].port
+
+    @property
+    def ps_ports(self) -> List[int]:
+        return [ep.port for ep in self.ps_endpoints]
+
+    def launch(self) -> None:
+        """Spawn all task processes at ``spec.arrival_time``."""
+        if self._launched:
+            raise PlacementError(f"{self.spec.job_id} already launched")
+        self._launched = True
+        sim = self.cluster.sim
+
+        def delayed(task_gen, delay):
+            if delay > 0:
+                yield Timeout(delay)
+            yield from task_gen
+
+        delay = max(0.0, self.spec.arrival_time - sim.now)
+        for ps in self.ps_tasks:
+            sim.spawn(delayed(ps.run(), delay), name=ps.name)
+        for wk in self.workers:
+            sim.spawn(delayed(wk.run(), delay), name=wk.name)
+
+        # Fire `done` and release resources when every PS shard completes.
+        def finalize():
+            yield AllOf([ps.done for ps in self.ps_tasks])
+            for wk in self.workers:
+                wk.close()
+            for ep, ps in zip(self.ps_endpoints, self.ps_tasks):
+                ep.host.remove_task(ps)
+            for ep, wk in zip(self.worker_endpoints, self.workers):
+                ep.host.remove_task(wk)
+            self.done.fire(self.metrics)
+
+        sim.spawn(finalize(), name=f"{self.spec.job_id}/finalize")

@@ -1,0 +1,104 @@
+"""Distributed DL job specification."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.dl.model_zoo import ModelSpec
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One training job, paper §III style.
+
+    Attributes:
+        job_id: unique name (``"job00"``).
+        model: what is being trained.
+        n_workers: remote workers (paper default: 20).
+        local_batch_size: samples per worker per local step (paper: 4).
+        target_global_steps: total local steps across all workers at which
+            the job stops (paper: 30 000).
+        sync: synchronous training (barrier per iteration) or asynchronous.
+        arrival_time: simulated launch time (jobs staggered by 0.1 s in
+            the paper).
+        compute_jitter_sigma: lognormal sigma on per-step compute time —
+            small, to model real-machine variability.
+        n_ps: number of parameter servers the model is sharded across
+            (paper §III: "a more general case where one DL job has
+            multiple PSes").
+        compression_ratio: fraction of update bytes actually transmitted
+            (1.0 = uncompressed; 0.25 = 4x compression a la QSGD/TernGrad,
+            the paper's related work §VI).  Applied to both model and
+            gradient updates; compression compute cost is not modeled.
+    """
+
+    job_id: str
+    model: ModelSpec
+    n_workers: int = 20
+    local_batch_size: int = 4
+    target_global_steps: int = 30_000
+    sync: bool = True
+    arrival_time: float = 0.0
+    compute_jitter_sigma: float = 0.03
+    n_ps: int = 1
+    compression_ratio: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise WorkloadError(f"{self.job_id}: n_workers must be >= 1")
+        if self.local_batch_size < 1:
+            raise WorkloadError(f"{self.job_id}: local_batch_size must be >= 1")
+        if self.target_global_steps < self.n_workers:
+            raise WorkloadError(
+                f"{self.job_id}: target_global_steps ({self.target_global_steps}) "
+                f"< n_workers ({self.n_workers}) — not even one iteration"
+            )
+        if self.arrival_time < 0:
+            raise WorkloadError(f"{self.job_id}: negative arrival_time")
+        if self.compute_jitter_sigma < 0:
+            raise WorkloadError(f"{self.job_id}: negative jitter sigma")
+        if self.n_ps < 1:
+            raise WorkloadError(f"{self.job_id}: n_ps must be >= 1")
+        if not 0.0 < self.compression_ratio <= 1.0:
+            raise WorkloadError(
+                f"{self.job_id}: compression_ratio must be in (0, 1], "
+                f"got {self.compression_ratio}"
+            )
+
+    @property
+    def n_iterations(self) -> int:
+        """Synchronous iterations to reach the target global step.
+
+        The global step advances by ``n_workers`` per synchronous
+        iteration (paper §II, "Local vs. global steps").
+        """
+        return math.ceil(self.target_global_steps / self.n_workers)
+
+    @property
+    def local_steps_per_worker(self) -> int:
+        """Per-worker local steps (== iterations when synchronous)."""
+        return self.n_iterations
+
+    @property
+    def compute_demand_per_step(self) -> float:
+        """Core-seconds per local step on a worker."""
+        return self.local_batch_size * self.model.per_sample_compute
+
+    @property
+    def update_bytes(self) -> int:
+        return self.model.update_bytes
+
+    @property
+    def shard_bytes(self) -> int:
+        """Wire bytes of one model/gradient shard after compression
+        (whole model when n_ps == 1 and compression_ratio == 1)."""
+        return max(
+            1, math.ceil(self.model.update_bytes * self.compression_ratio / self.n_ps)
+        )
+
+    @property
+    def ps_update_compute_per_shard(self) -> float:
+        """Core-seconds for one PS to fold one worker's gradient shard."""
+        return self.model.ps_update_compute / self.n_ps

@@ -1,0 +1,91 @@
+"""Model specifications.
+
+A :class:`ModelSpec` carries the two numbers that matter to the network
+and the CPU: the size of one model/gradient update (4 bytes per float32
+parameter) and the compute cost of one training sample on a testbed CPU
+worker.
+
+Parameter counts are the published ones; per-sample compute costs are
+calibrated so that the simulated testbed reproduces the paper's regime
+(placement #8 compute-bound, placement #1 network-bound — see DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import WorkloadError
+
+BYTES_PER_PARAM = 4  # float32
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A trainable model as seen by the system layers.
+
+    Attributes:
+        name: zoo key.
+        n_params: trainable parameter count.
+        per_sample_compute: core-seconds to process one training sample
+            (forward + backward) on one testbed CPU core.
+        ps_update_compute: core-seconds for the PS to fold one worker's
+            gradient update into the model.
+    """
+
+    name: str
+    n_params: int
+    per_sample_compute: float
+    ps_update_compute: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_params <= 0:
+            raise WorkloadError(f"{self.name}: n_params must be positive")
+        if self.per_sample_compute <= 0:
+            raise WorkloadError(f"{self.name}: per_sample_compute must be positive")
+        if self.ps_update_compute < 0:
+            raise WorkloadError(f"{self.name}: ps_update_compute must be >= 0")
+
+    @property
+    def update_bytes(self) -> int:
+        """Size of one model update == one gradient update (paper §II)."""
+        return self.n_params * BYTES_PER_PARAM
+
+    def scaled(self, name: str, param_factor: float = 1.0, compute_factor: float = 1.0) -> "ModelSpec":
+        """A derived spec with scaled size/compute (for sweeps)."""
+        return ModelSpec(
+            name=name,
+            n_params=max(1, int(self.n_params * param_factor)),
+            per_sample_compute=self.per_sample_compute * compute_factor,
+            ps_update_compute=self.ps_update_compute * compute_factor,
+        )
+
+
+#: Published parameter counts; compute costs calibrated for the simulated
+#: testbed (12 hardware threads, CPU training — see DESIGN.md).
+MODEL_ZOO: Dict[str, ModelSpec] = {
+    spec.name: spec
+    for spec in (
+        # The paper's workload: ResNet-32 on CIFAR-10 (0.46 M params).
+        ModelSpec("resnet32_cifar10", 464_154, per_sample_compute=0.055,
+                  ps_update_compute=0.002),
+        ModelSpec("resnet50_imagenet", 25_557_032, per_sample_compute=0.950,
+                  ps_update_compute=0.030),
+        ModelSpec("inception_v3", 23_834_568, per_sample_compute=0.900,
+                  ps_update_compute=0.028),
+        ModelSpec("vgg16", 138_357_544, per_sample_compute=1.500,
+                  ps_update_compute=0.120),
+        ModelSpec("alexnet", 60_965_224, per_sample_compute=0.260,
+                  ps_update_compute=0.055),
+    )
+}
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a zoo model by name."""
+    try:
+        return MODEL_ZOO[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown model {name!r}; zoo has {sorted(MODEL_ZOO)}"
+        ) from None

@@ -1,0 +1,231 @@
+"""PS and worker task processes.
+
+The communication pattern follows Figure 1 of the paper:
+
+* the PS broadcasts a *model update* to every worker;
+* each worker computes on its local batch, then sends a *gradient update*;
+* synchronous training: the PS barriers on all gradients before the next
+  broadcast;
+* asynchronous training: the PS answers each gradient immediately with a
+  fresh model for that worker only.
+
+A worker's *barrier wait* is measured exactly as in the paper: from the
+moment it enters the barrier (last gradient update handed to the
+transport) until it exits (model update fully received).
+
+Multi-PS jobs (paper §III: "In a more general case where one DL job has
+multiple PSes, each PS communicates with remote workers in a similar
+way"): the model is sharded across ``spec.n_ps`` parameter servers, each
+exchanging a ``1/n_ps``-size shard with every worker per iteration.  A
+worker exits the barrier when all shards of the iteration have arrived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.dl.job import JobSpec
+from repro.dl.metrics import JobMetrics
+from repro.net.addressing import FlowKey
+from repro.net.packet import Message
+from repro.sim.primitives import Mailbox, Signal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.host import Host
+
+
+MODEL_UPDATE = "model_update"
+GRADIENT_UPDATE = "gradient_update"
+
+
+@dataclass
+class TaskEndpoint:
+    """Where a task lives: host + listening port."""
+
+    host: "Host"
+    port: int
+
+    @property
+    def host_id(self) -> str:
+        return self.host.host_id
+
+
+class WorkerTask:
+    """One worker: receives model shards, computes, sends gradient shards."""
+
+    def __init__(
+        self,
+        spec: JobSpec,
+        worker_index: int,
+        endpoint: TaskEndpoint,
+        ps_endpoints: List[TaskEndpoint],
+        metrics: JobMetrics,
+    ) -> None:
+        self.spec = spec
+        self.worker_index = worker_index
+        self.name = f"{spec.job_id}/wk{worker_index:02d}"
+        self.endpoint = endpoint
+        self.ps_endpoints = list(ps_endpoints)
+        self.metrics = metrics
+        self.inbox = Mailbox(endpoint.host.sim, name=self.name)
+        endpoint.host.transport.listen(endpoint.port, self.inbox.put)
+        self.local_step = 0
+
+    def _gradient_flow(self, ps: TaskEndpoint) -> FlowKey:
+        return FlowKey(
+            self.endpoint.host_id, self.endpoint.port,
+            ps.host_id, ps.port,
+        )
+
+    def run(self):
+        """The worker process (a simulation generator)."""
+        sim = self.endpoint.host.sim
+        cpu = self.endpoint.host.cpu
+        spec = self.spec
+        n_shards = len(self.ps_endpoints)
+        barrier_entered_at: Optional[float] = None
+
+        for iteration in range(spec.local_steps_per_worker):
+            # Wait for the model update — one shard from every PS
+            # (barrier exit happens when the *last* shard lands).
+            for _ in range(n_shards):
+                msg = yield self.inbox.get()
+                assert msg.kind == MODEL_UPDATE, f"{self.name} got {msg.kind}"
+            if barrier_entered_at is not None:
+                self.metrics.barriers.record(
+                    iteration - 1, sim.now - barrier_entered_at
+                )
+            # Compute on the local batch.
+            jitter = sim.rng.lognormal_factor(
+                f"compute/{self.name}", spec.compute_jitter_sigma
+            )
+            yield cpu.run(spec.compute_demand_per_step * jitter)
+            self.local_step += 1
+            self.metrics.local_steps[self.name] = self.local_step
+            # Send the gradient shards (barrier entry = last send handed
+            # to the transport).
+            for ps in self.ps_endpoints:
+                gradient = Message(
+                    flow=self._gradient_flow(ps),
+                    size=spec.shard_bytes,
+                    kind=GRADIENT_UPDATE,
+                    meta={"job": spec.job_id, "worker": self.worker_index,
+                          "iteration": iteration},
+                )
+                self.endpoint.host.transport.send_message(gradient)
+            barrier_entered_at = sim.now
+
+    def close(self) -> None:
+        self.endpoint.host.transport.unlisten(self.endpoint.port)
+
+
+class PSTask:
+    """One parameter server (or one shard of a multi-PS job).
+
+    Synchronous mode barriers on all workers' gradient shards before
+    re-broadcasting; asynchronous mode echoes a fresh shard to each worker
+    as its gradient arrives.
+    """
+
+    def __init__(
+        self,
+        spec: JobSpec,
+        endpoint: TaskEndpoint,
+        worker_endpoints: List[TaskEndpoint],
+        metrics: JobMetrics,
+        shard_index: int = 0,
+    ) -> None:
+        self.spec = spec
+        self.shard_index = shard_index
+        self.name = (
+            f"{spec.job_id}/ps" if spec.n_ps == 1
+            else f"{spec.job_id}/ps{shard_index}"
+        )
+        self.endpoint = endpoint
+        self.worker_endpoints = worker_endpoints
+        self.metrics = metrics
+        self.inbox = Mailbox(endpoint.host.sim, name=self.name)
+        endpoint.host.transport.listen(endpoint.port, self.inbox.put)
+        self.done = Signal()
+        self.global_step = 0
+
+    def _model_flow(self, worker: TaskEndpoint) -> FlowKey:
+        return FlowKey(
+            self.endpoint.host_id, self.endpoint.port,
+            worker.host_id, worker.port,
+        )
+
+    def _broadcast(self, iteration: int, only: Optional[TaskEndpoint] = None) -> None:
+        """Send model-shard updates; the burst that contends at the NIC."""
+        targets = [only] if only is not None else self.worker_endpoints
+        for worker in targets:
+            self.endpoint.host.transport.send_message(
+                Message(
+                    flow=self._model_flow(worker),
+                    size=self.spec.shard_bytes,
+                    kind=MODEL_UPDATE,
+                    meta={"job": self.spec.job_id, "iteration": iteration,
+                          "shard": self.shard_index},
+                )
+            )
+
+    def _mark_progress(self, sim) -> None:
+        if self.metrics.start_time < 0 or sim.now < self.metrics.start_time:
+            self.metrics.start_time = sim.now
+
+    def run(self):
+        if self.spec.sync:
+            yield from self._run_sync()
+        else:
+            yield from self._run_async()
+
+    def _run_sync(self):
+        sim = self.endpoint.host.sim
+        cpu = self.endpoint.host.cpu
+        spec = self.spec
+        self._mark_progress(sim)
+        n = spec.n_workers
+        for iteration in range(spec.n_iterations):
+            self._broadcast(iteration)
+            # Barrier: wait for every worker's gradient shard.
+            for _ in range(n):
+                msg = yield self.inbox.get()
+                assert msg.kind == GRADIENT_UPDATE, f"{self.name} got {msg.kind}"
+                # Fold the gradient shard into the model shard.
+                if spec.ps_update_compute_per_shard > 0:
+                    yield cpu.run(spec.ps_update_compute_per_shard)
+                self.global_step += 1
+            if self.shard_index == 0:
+                self.metrics.iterations_done = iteration + 1
+        self._finish(sim)
+
+    def _run_async(self):
+        sim = self.endpoint.host.sim
+        cpu = self.endpoint.host.cpu
+        spec = self.spec
+        self._mark_progress(sim)
+        # Kick off every worker with an initial model shard.
+        self._broadcast(0)
+        steps_by_worker: Dict[int, int] = {i: 0 for i in range(spec.n_workers)}
+        per_worker_cap = spec.local_steps_per_worker
+        while self.global_step < per_worker_cap * spec.n_workers:
+            msg = yield self.inbox.get()
+            assert msg.kind == GRADIENT_UPDATE
+            if spec.ps_update_compute_per_shard > 0:
+                yield cpu.run(spec.ps_update_compute_per_shard)
+            self.global_step += 1
+            widx = msg.meta["worker"]
+            steps_by_worker[widx] += 1
+            if steps_by_worker[widx] < per_worker_cap:
+                self._broadcast(steps_by_worker[widx],
+                                only=self.worker_endpoints[widx])
+        if self.shard_index == 0:
+            self.metrics.iterations_done = self.global_step // spec.n_workers
+        self._finish(sim)
+
+    def _finish(self, sim) -> None:
+        if sim.now > self.metrics.end_time:
+            self.metrics.end_time = sim.now
+        self.endpoint.host.transport.unlisten(self.endpoint.port)
+        self.done.fire(self.metrics)

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro package.
+
+Keeping all exception types in one module lets callers catch
+:class:`ReproError` to handle any library failure, while tests can assert
+on the precise subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was used incorrectly (e.g. scheduling in the past)."""
+
+
+class ProcessError(SimulationError):
+    """A simulated process failed; wraps the original traceback."""
+
+
+class ConfigError(ReproError):
+    """An experiment / component configuration is invalid."""
+
+
+class NetworkError(ReproError):
+    """Invalid network construction or packet routing failure."""
+
+
+class QdiscError(NetworkError):
+    """Invalid queueing-discipline configuration (bad handle, class id, ...)."""
+
+
+class TcError(QdiscError):
+    """A ``tc``-style command was malformed or referenced a missing device."""
+
+
+class PlacementError(ReproError):
+    """A task placement is infeasible or malformed."""
+
+
+class WorkloadError(ReproError):
+    """A DL job/workload specification is invalid."""

@@ -1,0 +1,11 @@
+"""Experiment harness: configs, the runner, and per-figure generators.
+
+Every table and figure in the paper's evaluation has a generator module
+under :mod:`repro.experiments.figures` and a benchmark under
+``benchmarks/`` that prints the same rows/series the paper reports.
+"""
+
+from repro.experiments.config import ExperimentConfig, Policy
+from repro.experiments.runner import ExperimentResult, run_experiment
+
+__all__ = ["ExperimentConfig", "ExperimentResult", "Policy", "run_experiment"]

@@ -1,0 +1,606 @@
+"""Ablations and extensions (DESIGN.md A1-A7).
+
+Each function mirrors a design decision the paper makes (or defers to
+future work, §VII) and quantifies it:
+
+* A1 ``bands``      — how many priority bands are enough?
+* A2 ``interval``   — TLs-RR rotation period vs JCT and fairness.
+* A3 ``transport``  — does the straggler effect depend on the transport's
+  interleaving granularity (segment size / window)?
+* A4 ``fair_queue`` — per-flow fair queueing (DRR) vs FIFO vs TensorLights.
+* A5 ``ps_aware``   — §VII: a PS-aware placement scheduler avoids the
+  contention up front.
+* A6 ``rate_control`` — §VII: centralized sender rate allocation; accurate
+  allocation works, but under-estimation loses utilization (non-work-
+  conserving), which is why the paper prefers priorities.
+* A7 ``async_mode`` — does contention still hurt asynchronous training?
+* A8 ``multi_ps``   — paper §III's general case: jobs sharded over
+  several parameter servers.
+* A9 ``compression`` — gradient compression (related work §VI) composed
+  with TensorLights: complementary, not rival.
+* A10 ``adaptive``  — extension: engage priorities only under measured
+  contention.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster import ClusterScheduler, SchedulingPolicy
+from repro.cluster.placement import PlacementSpec
+from repro.experiments.config import ExperimentConfig, Policy
+from repro.experiments.figures.common import base_config
+from repro.experiments.report import TextTable
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.sim.rng import RandomStreams
+
+
+@dataclass
+class AblationResult:
+    title: str
+    headers: List[str]
+    rows: List[tuple]
+
+    def render(self) -> str:
+        table = TextTable(self.headers, title=self.title)
+        for row in self.rows:
+            table.add_row(*row)
+        return table.render()
+
+
+# --------------------------------------------------------------------- A1
+
+
+def bands(
+    base: Optional[ExperimentConfig] = None,
+    band_counts: Sequence[int] = (1, 2, 3, 6, 12),
+    **overrides,
+) -> AblationResult:
+    """A1: JCT and straggler variance vs number of priority bands.
+
+    One band degenerates to FIFO-with-HTB; more bands serialize jobs more
+    finely.  The paper uses up to six because ``tc`` offers a limited
+    number — this quantifies what that budget costs.
+    """
+    cfg = base_config(base, **overrides).replace(placement_index=1)
+    fifo = run_experiment(cfg.replace(policy=Policy.FIFO))
+    rows = [("fifo", "-", fifo.avg_jct, 1.0, float(np.median(fifo.barrier_wait_variances())))]
+    for n in band_counts:
+        res = run_experiment(cfg.replace(policy=Policy.TLS_ONE, max_bands=n))
+        rows.append(
+            ("tls-one", n, res.avg_jct, res.avg_jct / fifo.avg_jct,
+             float(np.median(res.barrier_wait_variances())))
+        )
+    return AblationResult(
+        title="A1: priority-band budget (placement #1)",
+        headers=["Policy", "Bands", "Avg JCT (s)", "Norm JCT", "Median barrier var"],
+        rows=rows,
+    )
+
+
+# --------------------------------------------------------------------- A2
+
+
+def interval(
+    base: Optional[ExperimentConfig] = None,
+    intervals: Sequence[float] = (0.5, 1.5, 3.0, 6.0),
+    **overrides,
+) -> AblationResult:
+    """A2: TLs-RR rotation period T — fairness vs efficiency.
+
+    Short T approaches FIFO-like fairness (and loses serialization
+    benefit); long T approaches TLs-One (efficient but unfair).  Fairness
+    is measured as the spread (std) of per-job JCTs.
+    """
+    cfg = base_config(base, **overrides).replace(placement_index=1)
+    fifo = run_experiment(cfg.replace(policy=Policy.FIFO))
+    one = run_experiment(cfg.replace(policy=Policy.TLS_ONE))
+
+    def spread(res: ExperimentResult) -> float:
+        return float(np.std(list(res.jcts.values())))
+
+    rows = [
+        ("fifo", "-", fifo.avg_jct, 1.0, spread(fifo)),
+        ("tls-one", "-", one.avg_jct, one.avg_jct / fifo.avg_jct, spread(one)),
+    ]
+    for T in intervals:
+        res = run_experiment(cfg.replace(policy=Policy.TLS_RR, tls_interval=T))
+        rows.append(
+            (f"tls-rr", T, res.avg_jct, res.avg_jct / fifo.avg_jct, spread(res))
+        )
+    return AblationResult(
+        title="A2: TLs-RR rotation interval T (placement #1)",
+        headers=["Policy", "T (s)", "Avg JCT (s)", "Norm JCT", "JCT spread (std)"],
+        rows=rows,
+    )
+
+
+# --------------------------------------------------------------------- A3
+
+
+def transport(
+    base: Optional[ExperimentConfig] = None,
+    segment_sizes: Sequence[int] = (64 * 1024, 256 * 1024, 1024 * 1024),
+    **overrides,
+) -> AblationResult:
+    """A3: interleaving granularity — segment size sensitivity.
+
+    The straggler effect requires flows to interleave inside the FIFO; if
+    segments were as large as whole messages, FIFO itself would serialize
+    jobs.  TensorLights' *benefit* should therefore shrink as segments
+    grow — evidence the mechanism is interleaving, not bandwidth.
+    """
+    cfg = base_config(base, **overrides).replace(placement_index=1)
+    rows = []
+    for seg_bytes in segment_sizes:
+        fifo = run_experiment(
+            cfg.replace(policy=Policy.FIFO, segment_bytes=seg_bytes)
+        )
+        tls = run_experiment(
+            cfg.replace(policy=Policy.TLS_ONE, segment_bytes=seg_bytes)
+        )
+        rows.append(
+            (f"{seg_bytes // 1024} KiB", fifo.avg_jct, tls.avg_jct,
+             tls.avg_jct / fifo.avg_jct)
+        )
+    return AblationResult(
+        title="A3: transport segment size vs TensorLights benefit (placement #1)",
+        headers=["Segment", "FIFO JCT (s)", "TLs-One JCT (s)", "Norm JCT"],
+        rows=rows,
+    )
+
+
+# --------------------------------------------------------------------- A4
+
+
+def fair_queue(
+    base: Optional[ExperimentConfig] = None, **overrides
+) -> AblationResult:
+    """A4: per-flow fair queueing (DRR) vs FIFO vs TensorLights.
+
+    Fair queueing equalizes *rates*, so for all-or-nothing fan-out bursts
+    every message still completes at the tail — it does not fix
+    stragglers.  Serializing jobs (TensorLights) does.
+    """
+    cfg = base_config(base, **overrides).replace(placement_index=1)
+    rows = []
+    fifo = run_experiment(cfg.replace(policy=Policy.FIFO))
+    for policy in (Policy.FIFO, Policy.DRR, Policy.TLS_ONE):
+        res = fifo if policy == Policy.FIFO else run_experiment(
+            cfg.replace(policy=policy)
+        )
+        rows.append(
+            (policy.value, res.avg_jct, res.avg_jct / fifo.avg_jct,
+             float(np.median(res.barrier_wait_variances())))
+        )
+    return AblationResult(
+        title="A4: fair queueing is not enough (placement #1)",
+        headers=["Policy", "Avg JCT (s)", "Norm JCT", "Median barrier var"],
+        rows=rows,
+    )
+
+
+# --------------------------------------------------------------------- A5
+
+
+def _placement_from_scheduler(
+    policy: SchedulingPolicy, n_jobs: int, n_hosts: int, seed: int
+) -> PlacementSpec:
+    """Derive a Table-I-style placement from a dynamic scheduler policy."""
+    sched = ClusterScheduler(
+        [f"h{i:02d}" for i in range(n_hosts)],
+        policy=policy,
+        rng=RandomStreams(seed),
+    )
+    picks = [sched.pick_ps_host() for _ in range(n_jobs)]
+    profile = sorted(Counter(picks).values())
+    return PlacementSpec(tuple(profile))
+
+
+def ps_aware(
+    base: Optional[ExperimentConfig] = None, **overrides
+) -> AblationResult:
+    """A5 (paper §VII): schedule PS tasks placement-aware up front.
+
+    A random (functionality-agnostic) scheduler colocates PSes by chance;
+    the PS-aware scheduler spreads them.  Both run plain FIFO — good
+    placement removes the contention TensorLights would otherwise fix.
+    """
+    cfg = base_config(base, **overrides).replace(policy=Policy.FIFO)
+    rows = []
+    for label, sched_policy in (
+        ("random (oblivious)", SchedulingPolicy.RANDOM),
+        ("ps-aware (spread)", SchedulingPolicy.PS_AWARE),
+    ):
+        spec = _placement_from_scheduler(
+            sched_policy, cfg.n_jobs, cfg.n_hosts, cfg.seed
+        )
+        res = run_experiment(cfg, placement=spec)
+        rows.append(
+            (label, spec.describe(), spec.max_colocation, res.avg_jct,
+             float(np.median(res.barrier_wait_variances())))
+        )
+    return AblationResult(
+        title="A5: PS-aware cluster scheduling (paper future work, FIFO network)",
+        headers=["Scheduler", "PS colocation profile", "Max coloc",
+                 "Avg JCT (s)", "Median barrier var"],
+        rows=rows,
+    )
+
+
+# --------------------------------------------------------------------- A6
+
+
+def rate_control(
+    base: Optional[ExperimentConfig] = None,
+    allocation_errors: Sequence[float] = (1.0, 0.8, 0.6),
+    **overrides,
+) -> AblationResult:
+    """A6 (paper §VII): centralized sender rate allocation vs priorities.
+
+    Each colocated PS gets a fixed rate share of the link (``fair share x
+    error``), enforced with non-work-conserving HTB classes (rate == ceil).
+    A perfect allocator serializes nothing but keeps the link busy; an
+    under-estimating allocator (error < 1) leaves bandwidth idle — the
+    paper's argument for work-conserving priorities.
+    """
+    cfg = base_config(base, **overrides).replace(placement_index=1)
+    fifo = run_experiment(cfg.replace(policy=Policy.FIFO))
+    tls = run_experiment(cfg.replace(policy=Policy.TLS_ONE))
+    rows = [
+        ("fifo", "-", fifo.avg_jct, 1.0),
+        ("tls-one (work-conserving)", "-", tls.avg_jct, tls.avg_jct / fifo.avg_jct),
+    ]
+    for err in allocation_errors:
+        res = _run_rate_limited(cfg, err)
+        rows.append(
+            (f"rate-control", f"{err:.0%}", res.avg_jct, res.avg_jct / fifo.avg_jct)
+        )
+    return AblationResult(
+        title="A6: sender rate control vs priorities (placement #1)",
+        headers=["Policy", "Allocation accuracy", "Avg JCT (s)", "Norm JCT"],
+        rows=rows,
+    )
+
+
+def _run_rate_limited(cfg: ExperimentConfig, accuracy: float) -> ExperimentResult:
+    """Run with static per-job rate shaping at the contended PS host.
+
+    Built directly on the cluster/application layers (the runner does not
+    model rate control — it is a §VII what-if, not a paper policy).
+    """
+    from repro.cluster import Cluster
+    from repro.dl import DLApplication, JobSpec
+    from repro.dl.model_zoo import get_model
+    from repro.net.link import Link
+    from repro.net.qdisc import HTBQdisc, PortFilter
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=cfg.seed)
+    cluster = Cluster(
+        sim, n_hosts=cfg.n_hosts, cores_per_host=cfg.cores_per_host,
+        link=Link(rate=cfg.link_rate), segment_bytes=cfg.segment_bytes,
+        window_segments=cfg.window_segments, window_jitter=cfg.window_jitter,
+    )
+    scheduler = ClusterScheduler(cluster.host_ids)
+    ps_hosts = scheduler.ps_hosts_for_placement(cfg.placement())
+    model = get_model(cfg.model)
+
+    apps = []
+    for j in range(cfg.n_jobs):
+        spec = JobSpec(
+            job_id=f"job{j:02d}", model=model, n_workers=cfg.n_workers,
+            local_batch_size=cfg.local_batch_size,
+            target_global_steps=cfg.target_global_steps,
+            arrival_time=j * cfg.launch_stagger,
+            compute_jitter_sigma=cfg.compute_jitter_sigma,
+        )
+        workers = scheduler.worker_hosts(ps_hosts[j], cfg.n_workers)
+        apps.append(DLApplication(spec, cluster, ps_hosts[j], workers))
+
+    # Static rate allocation at each contended PS host: every PS gets
+    # (link / n_colocated) * accuracy, hard-capped (ceil == rate).
+    by_host: Dict[str, List[DLApplication]] = {}
+    for app in apps:
+        by_host.setdefault(app.ps_host_id, []).append(app)
+    for host_id, host_apps in by_host.items():
+        if len(host_apps) < 2:
+            continue
+        share = cfg.link_rate / len(host_apps) * accuracy
+        filt = PortFilter()
+        htb = HTBQdisc(filter=filt, default_classid=999)
+        htb.add_class(1, rate=cfg.link_rate, ceil=cfg.link_rate)
+        htb.add_class(999, rate=share, ceil=share, parent=1)  # default
+        for i, app in enumerate(host_apps):
+            classid = 10 + i
+            htb.add_class(classid, rate=share, ceil=share, parent=1)
+            filt.add_match(app.ps_port, classid)
+        cluster.host(host_id).nic.set_qdisc(htb)
+
+    for app in apps:
+        app.launch()
+    sim.run()
+    return ExperimentResult(
+        config=cfg,
+        jcts={a.spec.job_id: a.metrics.jct for a in apps},
+        metrics={a.spec.job_id: a.metrics for a in apps},
+        ps_host_of_job={a.spec.job_id: a.ps_host_id for a in apps},
+        makespan=max(a.metrics.end_time for a in apps),
+        sim_events=sim.steps_executed,
+    )
+
+
+# --------------------------------------------------------------------- A7
+
+
+def async_mode(
+    base: Optional[ExperimentConfig] = None, **overrides
+) -> AblationResult:
+    """A7: asynchronous training under contention.
+
+    Async removes the barrier, so a straggler no longer stalls its peers —
+    but colocated PSes still contend for outbound bandwidth, and
+    TensorLights still reduces mean JCT (less than in sync mode).
+    """
+    cfg = base_config(base, **overrides).replace(placement_index=1, sync=False)
+    rows = []
+    fifo = run_experiment(cfg.replace(policy=Policy.FIFO))
+    for policy in (Policy.FIFO, Policy.TLS_ONE, Policy.TLS_RR):
+        res = fifo if policy == Policy.FIFO else run_experiment(
+            cfg.replace(policy=policy)
+        )
+        rows.append((policy.value, res.avg_jct, res.avg_jct / fifo.avg_jct))
+    return AblationResult(
+        title="A7: asynchronous training (placement #1, no barrier)",
+        headers=["Policy", "Avg JCT (s)", "Norm JCT"],
+        rows=rows,
+    )
+
+
+# --------------------------------------------------------------------- A8
+
+
+def multi_ps(
+    base: Optional[ExperimentConfig] = None,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    **overrides,
+) -> AblationResult:
+    """A8 (paper §III's general case): shard each job over several PSes.
+
+    All shards stay on the job's placement host, so the *aggregate*
+    traffic is unchanged — sharding alone does not relieve a colocated
+    host.  (Spreading shards across hosts is a placement decision, cf. A5.)
+    TensorLights prioritizes all of a job's shard ports as one unit.
+    """
+    cfg = base_config(base, **overrides).replace(placement_index=1)
+    rows = []
+    for n_ps in shard_counts:
+        fifo = _run_sharded(cfg.replace(policy=Policy.FIFO), n_ps)
+        tls = _run_sharded(cfg.replace(policy=Policy.TLS_ONE), n_ps)
+        rows.append(
+            (n_ps, fifo.avg_jct, tls.avg_jct, tls.avg_jct / fifo.avg_jct)
+        )
+    return AblationResult(
+        title="A8: multi-PS sharded jobs (placement #1, shards colocated)",
+        headers=["PSes/job", "FIFO JCT (s)", "TLs-One JCT (s)", "Norm JCT"],
+        rows=rows,
+    )
+
+
+def _run_sharded(cfg: ExperimentConfig, n_ps: int) -> ExperimentResult:
+    """Like run_experiment but with n_ps shards per job (same PS host)."""
+    from repro.cluster import Cluster
+    from repro.dl import DLApplication, JobSpec
+    from repro.dl.model_zoo import get_model
+    from repro.net.link import Link
+    from repro.sim import Simulator
+    from repro.tensorlights import TensorLights, TLMode
+
+    sim = Simulator(seed=cfg.seed)
+    cluster = Cluster(
+        sim, n_hosts=cfg.n_hosts, cores_per_host=cfg.cores_per_host,
+        link=Link(rate=cfg.link_rate), segment_bytes=cfg.segment_bytes,
+        window_segments=cfg.window_segments, window_jitter=cfg.window_jitter,
+        switch_buffer_bytes=cfg.switch_buffer_bytes, rto=cfg.rto,
+    )
+    scheduler = ClusterScheduler(cluster.host_ids)
+    ps_hosts = scheduler.ps_hosts_for_placement(cfg.placement())
+    model = get_model(cfg.model)
+    controller = None
+    if cfg.policy in (Policy.TLS_ONE, Policy.TLS_RR):
+        controller = TensorLights(
+            cluster,
+            mode=TLMode.ONE if cfg.policy == Policy.TLS_ONE else TLMode.RR,
+            interval=cfg.tls_interval, max_bands=cfg.max_bands,
+        )
+    apps = []
+    for j in range(cfg.n_jobs):
+        spec = JobSpec(
+            job_id=f"job{j:02d}", model=model, n_workers=cfg.n_workers,
+            local_batch_size=cfg.local_batch_size,
+            target_global_steps=cfg.target_global_steps,
+            arrival_time=j * cfg.launch_stagger,
+            compute_jitter_sigma=cfg.compute_jitter_sigma,
+            n_ps=n_ps,
+        )
+        workers = scheduler.worker_hosts(ps_hosts[j], cfg.n_workers)
+        app = DLApplication(spec, cluster, ps_hosts[j], workers)
+        if controller is not None:
+            controller.attach(app)
+        apps.append(app)
+    for app in apps:
+        app.launch()
+    sim.run()
+    return ExperimentResult(
+        config=cfg,
+        jcts={a.spec.job_id: a.metrics.jct for a in apps},
+        metrics={a.spec.job_id: a.metrics for a in apps},
+        ps_host_of_job={a.spec.job_id: a.ps_host_id for a in apps},
+        makespan=max(a.metrics.end_time for a in apps),
+        sim_events=sim.steps_executed,
+    )
+
+
+# --------------------------------------------------------------------- A9
+
+
+def compression(
+    base: Optional[ExperimentConfig] = None,
+    ratios: Sequence[float] = (1.0, 0.25),
+    **overrides,
+) -> AblationResult:
+    """A9: gradient compression vs TensorLights — complementary, not rival.
+
+    Compression (paper related work §VI: QSGD, TernGrad) shrinks every
+    update, reducing contention for everyone; TensorLights reschedules the
+    remaining contention.  Each helps with the other already applied.
+    """
+    cfg = base_config(base, **overrides).replace(placement_index=1)
+    rows = []
+    baseline = None
+    for ratio in ratios:
+        for policy in (Policy.FIFO, Policy.TLS_ONE):
+            res = _run_compressed(cfg.replace(policy=policy), ratio)
+            if baseline is None:
+                baseline = res.avg_jct
+            rows.append(
+                (f"{1 / ratio:.0f}x" if ratio < 1 else "none",
+                 policy.value, res.avg_jct, res.avg_jct / baseline)
+            )
+    return AblationResult(
+        title="A9: gradient compression x TensorLights (placement #1; "
+              "norm vs uncompressed FIFO)",
+        headers=["Compression", "Policy", "Avg JCT (s)", "Norm JCT"],
+        rows=rows,
+    )
+
+
+def _run_compressed(cfg: ExperimentConfig, ratio: float) -> ExperimentResult:
+    from repro.cluster import Cluster
+    from repro.dl import DLApplication, JobSpec
+    from repro.dl.model_zoo import get_model
+    from repro.net.link import Link
+    from repro.sim import Simulator
+    from repro.tensorlights import TensorLights, TLMode
+
+    sim = Simulator(seed=cfg.seed)
+    cluster = Cluster(
+        sim, n_hosts=cfg.n_hosts, cores_per_host=cfg.cores_per_host,
+        link=Link(rate=cfg.link_rate), segment_bytes=cfg.segment_bytes,
+        window_segments=cfg.window_segments, window_jitter=cfg.window_jitter,
+        switch_buffer_bytes=cfg.switch_buffer_bytes, rto=cfg.rto,
+    )
+    scheduler = ClusterScheduler(cluster.host_ids)
+    ps_hosts = scheduler.ps_hosts_for_placement(cfg.placement())
+    model = get_model(cfg.model)
+    controller = None
+    if cfg.policy in (Policy.TLS_ONE, Policy.TLS_RR):
+        controller = TensorLights(
+            cluster,
+            mode=TLMode.ONE if cfg.policy == Policy.TLS_ONE else TLMode.RR,
+            interval=cfg.tls_interval, max_bands=cfg.max_bands,
+        )
+    apps = []
+    for j in range(cfg.n_jobs):
+        spec = JobSpec(
+            job_id=f"job{j:02d}", model=model, n_workers=cfg.n_workers,
+            local_batch_size=cfg.local_batch_size,
+            target_global_steps=cfg.target_global_steps,
+            arrival_time=j * cfg.launch_stagger,
+            compute_jitter_sigma=cfg.compute_jitter_sigma,
+            compression_ratio=ratio,
+        )
+        workers = scheduler.worker_hosts(ps_hosts[j], cfg.n_workers)
+        app = DLApplication(spec, cluster, ps_hosts[j], workers)
+        if controller is not None:
+            controller.attach(app)
+        apps.append(app)
+    for app in apps:
+        app.launch()
+    sim.run()
+    return ExperimentResult(
+        config=cfg,
+        jcts={a.spec.job_id: a.metrics.jct for a in apps},
+        metrics={a.spec.job_id: a.metrics for a in apps},
+        ps_host_of_job={a.spec.job_id: a.ps_host_id for a in apps},
+        makespan=max(a.metrics.end_time for a in apps),
+        sim_events=sim.steps_executed,
+    )
+
+
+# --------------------------------------------------------------------- A10
+
+
+def adaptive(
+    base: Optional[ExperimentConfig] = None, **overrides
+) -> AblationResult:
+    """A10: adaptive (contention-triggered) TensorLights vs static.
+
+    The adaptive controller should match static TLs-One's JCT while
+    issuing tc state only when the NIC is actually congested.
+    """
+    from repro.cluster import Cluster
+    from repro.dl import DLApplication, JobSpec
+    from repro.dl.model_zoo import get_model
+    from repro.net.link import Link
+    from repro.sim import Simulator
+    from repro.tensorlights import AdaptiveTensorLights, TensorLights, TLMode
+
+    cfg = base_config(base, **overrides).replace(placement_index=1)
+
+    def run(controller_kind):
+        sim = Simulator(seed=cfg.seed)
+        cluster = Cluster(
+            sim, n_hosts=cfg.n_hosts, cores_per_host=cfg.cores_per_host,
+            link=Link(rate=cfg.link_rate), segment_bytes=cfg.segment_bytes,
+            window_segments=cfg.window_segments,
+            window_jitter=cfg.window_jitter,
+            switch_buffer_bytes=cfg.switch_buffer_bytes, rto=cfg.rto,
+        )
+        scheduler = ClusterScheduler(cluster.host_ids)
+        ps_hosts = scheduler.ps_hosts_for_placement(cfg.placement())
+        model = get_model(cfg.model)
+        if controller_kind == "static":
+            controller = TensorLights(cluster, mode=TLMode.ONE,
+                                      max_bands=cfg.max_bands)
+        elif controller_kind == "adaptive":
+            controller = AdaptiveTensorLights(cluster, mode=TLMode.ONE,
+                                              max_bands=cfg.max_bands,
+                                              check_interval=0.5)
+        else:
+            controller = None
+        apps = []
+        for j in range(cfg.n_jobs):
+            spec = JobSpec(
+                job_id=f"job{j:02d}", model=model, n_workers=cfg.n_workers,
+                local_batch_size=cfg.local_batch_size,
+                target_global_steps=cfg.target_global_steps,
+                arrival_time=j * cfg.launch_stagger,
+                compute_jitter_sigma=cfg.compute_jitter_sigma,
+            )
+            workers = scheduler.worker_hosts(ps_hosts[j], cfg.n_workers)
+            app = DLApplication(spec, cluster, ps_hosts[j], workers)
+            if controller is not None:
+                controller.attach(app)
+            apps.append(app)
+        for app in apps:
+            app.launch()
+        sim.run()
+        jcts = [a.metrics.jct for a in apps]
+        reconf = controller.reconfigurations if controller else 0
+        return sum(jcts) / len(jcts), reconf
+
+    rows = []
+    fifo_jct, _ = run("fifo")
+    for kind in ("fifo", "static", "adaptive"):
+        jct, reconf = run(kind) if kind != "fifo" else (fifo_jct, 0)
+        rows.append((kind, jct, jct / fifo_jct, reconf))
+    return AblationResult(
+        title="A10: adaptive (contention-triggered) TensorLights (placement #1)",
+        headers=["Controller", "Avg JCT (s)", "Norm JCT", "tc reconfigurations"],
+        rows=rows,
+    )

@@ -1,0 +1,135 @@
+"""Experiment configuration.
+
+The default :meth:`ExperimentConfig.scaled` runs the paper's grid-search
+workload shape (21 concurrent ResNet-32 jobs, 1 PS + 20 workers each,
+local batch 4, 10 Gbps star network) with a reduced iteration count: the
+workload is perfectly periodic, so steady-state behaviour — and every
+*relative* result the paper reports — is preserved while runs stay fast.
+:meth:`ExperimentConfig.paper_scale` restores the full 30 000 global steps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.cluster.placement import PlacementSpec, placement_by_index
+from repro.errors import ConfigError
+from repro.units import gbps
+
+
+class Policy(str, enum.Enum):
+    """Network scheduling policies.
+
+    The paper evaluates FIFO (baseline), TLs-One and TLs-RR.  DRR is an
+    extra per-flow fair-queueing baseline used by the A4 ablation — it is
+    *not* in the paper; it demonstrates that TensorLights' benefit comes
+    from serializing jobs, not merely from isolating flows.
+    """
+
+    FIFO = "fifo"
+    TLS_ONE = "tls-one"
+    TLS_RR = "tls-rr"
+    DRR = "drr"
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """All knobs of one experiment run."""
+
+    # workload
+    n_jobs: int = 21
+    n_workers: int = 20
+    model: str = "resnet32_cifar10"
+    #: multiplies the zoo model's compute cost (calibration knob; the
+    #: network side is physics, the CPU side depends on the testbed CPU)
+    model_compute_factor: float = 1.0
+    local_batch_size: int = 4
+    iterations: int = 30            # sync iterations per job (paper: 1500)
+    launch_stagger: float = 0.1     # paper: 0.1 s between job launches
+    compute_jitter_sigma: float = 0.05
+    sync: bool = True
+
+    # placement
+    placement_index: int = 1        # Table I index
+
+    # infrastructure
+    link_gbps: float = 10.0
+    cores_per_host: int = 12
+    segment_bytes: int = 256 * 1024
+    window_segments: int = 8
+    #: per-flow TCP-window spread; reproduces FIFO's unequal shares and
+    #: thus the tail-straggler completion spread (see Transport docstring)
+    window_jitter: float = 0.5
+    #: per-switch-port egress buffer (bytes); a shallow ToR-like buffer so
+    #: fan-in bursts (PS gradient incast, worker model-update fan-in)
+    #: experience real loss.  None = infinite (fluid model, no losses).
+    switch_buffer_bytes: Optional[float] = 4e6
+    #: TCP retransmission timeout after an incast drop, scaled to the
+    #: simulated iteration length (Linux's 200 ms min RTO is ~10% of the
+    #: paper's ~2 s iterations; 20 ms is ~3% of ours)
+    rto: float = 0.02
+
+    # policy
+    policy: Policy = Policy.FIFO
+    tls_interval: float = 1.5       # TLs-RR rotation period T, scaled (paper: 20 s at 1500 iterations)
+    max_bands: int = 6
+
+    # measurement
+    seed: int = 42
+    sample_interval: float = 1.0
+    sample_hosts: bool = False      # enable vmstat/ifstat samplers
+
+    def __post_init__(self) -> None:
+        if self.n_jobs < 1:
+            raise ConfigError("n_jobs must be >= 1")
+        if self.iterations < 1:
+            raise ConfigError("iterations must be >= 1")
+        if self.link_gbps <= 0:
+            raise ConfigError("link_gbps must be positive")
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def n_hosts(self) -> int:
+        """Workers spread over all hosts except each job's PS host."""
+        return self.n_workers + 1
+
+    @property
+    def target_global_steps(self) -> int:
+        return self.iterations * self.n_workers
+
+    @property
+    def link_rate(self) -> float:
+        return gbps(self.link_gbps)
+
+    def placement(self) -> PlacementSpec:
+        return placement_by_index(self.placement_index, n_jobs=self.n_jobs)
+
+    # -- presets ----------------------------------------------------------
+
+    @classmethod
+    def scaled(cls, **overrides) -> "ExperimentConfig":
+        """The default fast configuration (12 iterations)."""
+        return cls(**overrides)
+
+    @classmethod
+    def paper_scale(cls, **overrides) -> "ExperimentConfig":
+        """The paper's full workload: 30 000 global steps, T = 20 s."""
+        base = dict(iterations=1500, tls_interval=20.0)
+        base.update(overrides)
+        return cls(**base)
+
+    @classmethod
+    def tiny(cls, **overrides) -> "ExperimentConfig":
+        """A test-suite-sized configuration (seconds to run)."""
+        base = dict(n_jobs=4, n_workers=4, iterations=5, launch_stagger=0.01,
+                    tls_interval=1.0)
+        base.update(overrides)
+        return cls(**base)
+
+    def replace(self, **overrides) -> "ExperimentConfig":
+        """A copy with fields overridden."""
+        return dataclasses.replace(self, **overrides)

@@ -1,0 +1,137 @@
+"""Result export: JSON and CSV serialization of experiment results.
+
+Downstream users typically feed results into their own plotting pipeline;
+these helpers flatten :class:`~repro.experiments.runner.ExperimentResult`
+objects into stable, documented schemas.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+from typing import Any, Dict, Iterable, List, Mapping
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult
+
+#: Schema version written into every export, bumped on breaking changes.
+SCHEMA_VERSION = 1
+
+
+def config_to_dict(config: ExperimentConfig) -> Dict[str, Any]:
+    """A JSON-safe dict of every config field."""
+    out = dataclasses.asdict(config)
+    out["policy"] = config.policy.value
+    return out
+
+
+def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
+    """Flatten one run into a JSON-safe dict.
+
+    Includes per-job JCTs and barrier statistics; raw per-barrier series
+    are summarized (mean/median/p90) to keep exports small — re-run with
+    the same seed to recover full series.
+    """
+    means = result.barrier_wait_means()
+    variances = result.barrier_wait_variances()
+
+    def summary(arr: np.ndarray) -> Dict[str, float]:
+        if arr.size == 0:
+            return {"n": 0}
+        return {
+            "n": int(arr.size),
+            "mean": float(arr.mean()),
+            "median": float(np.median(arr)),
+            "p90": float(np.percentile(arr, 90)),
+            "max": float(arr.max()),
+        }
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "config": config_to_dict(result.config),
+        "avg_jct": result.avg_jct,
+        "makespan": result.makespan,
+        "sim_events": result.sim_events,
+        "wall_seconds": result.wall_seconds,
+        "jobs": [
+            {
+                "job_id": job_id,
+                "jct": jct,
+                "ps_host": result.ps_host_of_job[job_id],
+                "iterations": result.metrics[job_id].iterations_done,
+                "global_steps": result.metrics[job_id].global_steps,
+            }
+            for job_id, jct in sorted(result.jcts.items())
+        ],
+        "barrier_wait_mean": summary(means),
+        "barrier_wait_variance": summary(variances),
+        "tc_commands": list(result.tc_commands),
+    }
+
+
+def to_json(results: Iterable[ExperimentResult], indent: int = 2) -> str:
+    """Serialize one or more runs as a JSON array."""
+    return json.dumps([result_to_dict(r) for r in results], indent=indent)
+
+
+#: Columns of the per-job CSV export, in order.
+CSV_COLUMNS = (
+    "policy",
+    "placement_index",
+    "n_jobs",
+    "n_workers",
+    "local_batch_size",
+    "seed",
+    "job_id",
+    "ps_host",
+    "jct",
+    "iterations",
+    "global_steps",
+)
+
+
+def to_csv(results: Iterable[ExperimentResult]) -> str:
+    """Serialize runs as per-job CSV rows (one row per job per run)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(CSV_COLUMNS)
+    for result in results:
+        cfg = result.config
+        for job_id, jct in sorted(result.jcts.items()):
+            m = result.metrics[job_id]
+            writer.writerow(
+                [
+                    cfg.policy.value,
+                    cfg.placement_index,
+                    cfg.n_jobs,
+                    cfg.n_workers,
+                    cfg.local_batch_size,
+                    cfg.seed,
+                    job_id,
+                    result.ps_host_of_job[job_id],
+                    f"{jct:.6f}",
+                    m.iterations_done,
+                    m.global_steps,
+                ]
+            )
+    return buf.getvalue()
+
+
+def from_json(text: str) -> List[Dict[str, Any]]:
+    """Parse a JSON export back into dicts (with schema check)."""
+    data = json.loads(text)
+    if not isinstance(data, list):
+        raise ConfigError("export must be a JSON array of runs")
+    for run in data:
+        version = run.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ConfigError(
+                f"unsupported schema version {version!r} "
+                f"(this build reads {SCHEMA_VERSION})"
+            )
+    return data

@@ -1,0 +1,21 @@
+"""One generator per table/figure in the paper's evaluation.
+
+Each module exposes ``generate(base=None, **overrides)`` returning a
+result object with structured ``rows`` plus ``render()`` for the text
+report, so benchmarks print the same rows/series the paper plots.
+"""
+
+from repro.experiments.figures import (  # noqa: F401
+    fct,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5a,
+    fig5b,
+    fig6,
+    table1,
+    table2,
+)
+
+__all__ = ["fct", "fig1", "fig2", "fig3", "fig4", "fig5a", "fig5b", "fig6", "table1", "table2"]

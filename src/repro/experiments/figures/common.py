@@ -1,0 +1,26 @@
+"""Shared plumbing for figure generators."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.experiments.config import ExperimentConfig, Policy
+from repro.experiments.runner import ExperimentResult, run_experiment
+
+
+def base_config(base: Optional[ExperimentConfig], **overrides) -> ExperimentConfig:
+    """The figure's starting configuration, with overrides applied."""
+    cfg = base if base is not None else ExperimentConfig()
+    if overrides:
+        cfg = cfg.replace(**overrides)
+    return cfg
+
+
+def run_policies(
+    cfg: ExperimentConfig, policies: Iterable[Policy]
+) -> Dict[Policy, ExperimentResult]:
+    """Run the same configuration under several scheduling policies."""
+    return {p: run_experiment(cfg.replace(policy=p)) for p in policies}
+
+
+ALL_POLICIES = (Policy.FIFO, Policy.TLS_ONE, Policy.TLS_RR)

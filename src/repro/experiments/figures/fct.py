@@ -1,0 +1,103 @@
+"""Flow-completion-time tails (supplementary analysis, not a paper figure).
+
+The paper measures stragglers at the application layer (barrier waits);
+this view measures them at the network layer: the distribution of
+model-update FCTs under each policy at placement #1.  Under FIFO every
+fan-out transfer stretches toward the collision-window tail; under
+TensorLights the high-priority jobs' transfers collapse to their
+serialization time and the overall tail-to-median ratio drops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.cluster import Cluster, ClusterScheduler
+from repro.dl import DLApplication, JobSpec
+from repro.dl.model_zoo import get_model
+from repro.experiments.config import ExperimentConfig, Policy
+from repro.experiments.figures.common import base_config
+from repro.experiments.report import TextTable
+from repro.net.link import Link
+from repro.sim import Simulator
+from repro.telemetry.flows import FlowCollector
+from repro.tensorlights import TensorLights, TLMode
+
+
+@dataclass
+class FctResult:
+    collectors: Dict[Policy, FlowCollector]
+    kind: str = "model_update"
+
+    def percentile(self, policy: Policy, p: float) -> float:
+        return self.collectors[policy].percentile(self.kind, p)
+
+    def tail_ratio(self, policy: Policy, p: float = 99.0) -> float:
+        return self.collectors[policy].tail_ratio(self.kind, p)
+
+    def render(self) -> str:
+        table = TextTable(
+            ["Policy", "p50 FCT (s)", "p90", "p99", "p99/p50"],
+            title=(
+                "Model-update flow completion times at placement #1 "
+                "(network-layer straggler view)"
+            ),
+        )
+        for policy, c in self.collectors.items():
+            table.add_row(
+                policy.value,
+                c.percentile(self.kind, 50),
+                c.percentile(self.kind, 90),
+                c.percentile(self.kind, 99),
+                self.tail_ratio(policy),
+            )
+        return table.render()
+
+
+def _run_with_collector(cfg: ExperimentConfig, policy: Policy) -> FlowCollector:
+    sim = Simulator(seed=cfg.seed)
+    cluster = Cluster(
+        sim, n_hosts=cfg.n_hosts, cores_per_host=cfg.cores_per_host,
+        link=Link(rate=cfg.link_rate), segment_bytes=cfg.segment_bytes,
+        window_segments=cfg.window_segments, window_jitter=cfg.window_jitter,
+        switch_buffer_bytes=cfg.switch_buffer_bytes, rto=cfg.rto,
+    )
+    collector = FlowCollector.install(cluster.network)
+    scheduler = ClusterScheduler(cluster.host_ids)
+    ps_hosts = scheduler.ps_hosts_for_placement(cfg.placement())
+    model = get_model(cfg.model)
+    controller = None
+    if policy in (Policy.TLS_ONE, Policy.TLS_RR):
+        controller = TensorLights(
+            cluster,
+            mode=TLMode.ONE if policy == Policy.TLS_ONE else TLMode.RR,
+            interval=cfg.tls_interval, max_bands=cfg.max_bands,
+        )
+    for j in range(cfg.n_jobs):
+        spec = JobSpec(
+            job_id=f"job{j:02d}", model=model, n_workers=cfg.n_workers,
+            local_batch_size=cfg.local_batch_size,
+            target_global_steps=cfg.target_global_steps,
+            arrival_time=j * cfg.launch_stagger,
+            compute_jitter_sigma=cfg.compute_jitter_sigma,
+        )
+        workers = scheduler.worker_hosts(ps_hosts[j], cfg.n_workers)
+        app = DLApplication(spec, cluster, ps_hosts[j], workers)
+        if controller is not None:
+            controller.attach(app)
+        app.launch()
+    sim.run()
+    return collector
+
+
+def generate(base: Optional[ExperimentConfig] = None, **overrides) -> FctResult:
+    """Run placement #1 under all three policies with an FCT collector."""
+    cfg = base_config(base, **overrides).replace(placement_index=1)
+    collectors = {
+        policy: _run_with_collector(cfg, policy)
+        for policy in (Policy.FIFO, Policy.TLS_ONE, Policy.TLS_RR)
+    }
+    return FctResult(collectors=collectors)

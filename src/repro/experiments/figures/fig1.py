@@ -1,0 +1,124 @@
+"""Figure 1: the PS-architecture workflow, as a measured event trace.
+
+The paper's Figure 1 is a schematic sequence diagram (one PS, two
+workers, two iterations: model updates down, gradient updates up, barrier
+at the PS).  We reproduce it by running exactly that job in the simulator
+with tracing enabled and rendering the message sequence — which doubles
+as a protocol-conformance check for the workload model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cluster import Cluster
+from repro.dl import DLApplication, JobSpec
+from repro.dl.model_zoo import get_model
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures.common import base_config
+from repro.net.link import Link
+from repro.sim import Simulator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    kind: str        # "model_update" | "gradient_update"
+    direction: str   # "ps->wk0", "wk1->ps", ...
+    iteration: int
+
+
+@dataclass
+class Fig1Result:
+    events: List[TraceEvent]
+    n_workers: int
+    iterations: int
+
+    def events_of(self, iteration: int) -> List[TraceEvent]:
+        return [e for e in self.events if e.iteration == iteration]
+
+    def render(self) -> str:
+        lines = [
+            "Figure 1: PS workflow trace "
+            f"(1 PS, {self.n_workers} workers, {self.iterations} iterations)",
+            f"{'t (s)':>9s}  {'message':<16s} {'direction':<10s} iter",
+        ]
+        for e in self.events:
+            lines.append(
+                f"{e.time:9.4f}  {e.kind:<16s} {e.direction:<10s} {e.iteration}"
+            )
+        return "\n".join(lines)
+
+    def verify_protocol(self) -> None:
+        """Assert the Figure-1 invariants (raises AssertionError if broken).
+
+        Per iteration: every worker receives exactly one model update
+        before it sends its gradient, and the PS receives all gradients of
+        iteration ``i`` before any worker receives the model of ``i+1``
+        (the synchronization barrier).
+        """
+        for it in range(self.iterations):
+            evs = self.events_of(it)
+            models = [e for e in evs if e.kind == "model_update"]
+            grads = [e for e in evs if e.kind == "gradient_update"]
+            assert len(models) == self.n_workers, f"iter {it}: models {len(models)}"
+            assert len(grads) == self.n_workers, f"iter {it}: grads {len(grads)}"
+            for w in range(self.n_workers):
+                m = next(e for e in models if e.direction == f"ps->wk{w}")
+                g = next(e for e in grads if e.direction == f"wk{w}->ps")
+                assert m.time <= g.time, f"iter {it}, wk{w}: gradient before model"
+            if it + 1 < self.iterations:
+                barrier = max(e.time for e in grads)
+                next_models = [
+                    e for e in self.events_of(it + 1) if e.kind == "model_update"
+                ]
+                assert all(barrier <= e.time for e in next_models), (
+                    f"iter {it}: barrier violated"
+                )
+
+
+def generate(
+    base: Optional[ExperimentConfig] = None,
+    n_workers: int = 2,
+    iterations: int = 2,
+    **overrides,
+) -> Fig1Result:
+    """Trace a small PS job and return its Figure-1 message sequence."""
+    cfg = base_config(base, **overrides)
+    sim = Simulator(seed=cfg.seed, trace=True)
+    sim.trace.kinds = {"msg_recv"}
+    cluster = Cluster(
+        sim, n_hosts=n_workers + 1, link=Link(rate=cfg.link_rate),
+        segment_bytes=cfg.segment_bytes,
+    )
+    spec = JobSpec(
+        "fig1", get_model(cfg.model), n_workers=n_workers,
+        local_batch_size=cfg.local_batch_size,
+        target_global_steps=iterations * n_workers,
+        compute_jitter_sigma=cfg.compute_jitter_sigma,
+    )
+    hosts = cluster.host_ids
+    app = DLApplication(spec, cluster, ps_host=hosts[0], worker_hosts=hosts[1:])
+    worker_addr = {
+        (ep.host_id, ep.port): i for i, ep in enumerate(app.worker_endpoints)
+    }
+    app.launch()
+    sim.run()
+
+    events: List[TraceEvent] = []
+    for rec in sim.trace.of_kind("msg_recv"):
+        kind = rec.fields["msg_kind"]
+        flow = rec.fields["flow"]  # "host:port->host:port"
+        dst = flow.split("->")[1]
+        dst_host, dst_port = dst.rsplit(":", 1)
+        if kind == "model_update":
+            direction = f"ps->wk{worker_addr[(dst_host, int(dst_port))]}"
+        else:
+            widx = rec.fields["worker"]
+            direction = f"wk{widx}->ps"
+        events.append(
+            TraceEvent(rec.time, kind, direction, rec.fields["iteration"])
+        )
+    events.sort(key=lambda e: e.time)
+    return Fig1Result(events=events, n_workers=n_workers, iterations=iterations)

@@ -1,0 +1,73 @@
+"""Figure 6: barrier wait distributions under FIFO / TLs-One / TLs-RR.
+
+Placement #1.  (a) the span of per-barrier average waits widens under
+TensorLights (high-priority jobs wait less, low-priority more) while the
+overall average stays comparable; (b) the variance of barrier wait —
+the straggler indicator — drops (paper: mean/median variance reduced
+26 %/40 % under TLs-One, 15 %/30 % under TLs-RR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig, Policy
+from repro.experiments.figures.common import ALL_POLICIES, base_config, run_policies
+from repro.experiments.report import render_cdf
+from repro.experiments.runner import ExperimentResult
+
+
+@dataclass
+class Fig6Result:
+    results: Dict[Policy, ExperimentResult]
+
+    def mean_wait(self, policy: Policy) -> float:
+        return float(self.results[policy].barrier_wait_means().mean())
+
+    def wait_span(self, policy: Policy) -> float:
+        means = self.results[policy].barrier_wait_means()
+        return float(np.percentile(means, 95) - np.percentile(means, 5))
+
+    def variance_reduction(self, policy: Policy, statistic: str = "mean") -> float:
+        """1 - (policy variance / FIFO variance), via mean or median."""
+        agg = np.mean if statistic == "mean" else np.median
+        fifo = agg(self.results[Policy.FIFO].barrier_wait_variances())
+        pol = agg(self.results[policy].barrier_wait_variances())
+        return float(1.0 - pol / fifo)
+
+    def render(self) -> str:
+        lines = [
+            "Figure 6: barrier wait distributions under three policies "
+            "(placement #1)"
+        ]
+        lines.append("(a) per-barrier AVERAGE wait:")
+        for policy in self.results:
+            lines.append(
+                "  " + render_cdf(self.results[policy].barrier_wait_means(),
+                                  policy.value)
+            )
+        lines.append("(b) per-barrier VARIANCE of wait (straggler indicator):")
+        for policy in self.results:
+            lines.append(
+                "  " + render_cdf(self.results[policy].barrier_wait_variances(),
+                                  policy.value)
+            )
+        for policy, paper in ((Policy.TLS_ONE, "26%/40%"), (Policy.TLS_RR, "15%/30%")):
+            lines.append(
+                f"{policy.value}: variance reduction mean/median = "
+                f"{self.variance_reduction(policy, 'mean') * 100:.0f}%/"
+                f"{self.variance_reduction(policy, 'median') * 100:.0f}%"
+                f"  [paper: {paper}]"
+            )
+        return "\n".join(lines)
+
+
+def generate(
+    base: Optional[ExperimentConfig] = None, **overrides
+) -> Fig6Result:
+    """Run placement #1 under all three policies."""
+    cfg = base_config(base, **overrides).replace(placement_index=1)
+    return Fig6Result(results=run_policies(cfg, ALL_POLICIES))

@@ -1,0 +1,62 @@
+"""Plain-text rendering of experiment results (tables and CDF sketches)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import Cdf
+
+
+class TextTable:
+    """A minimal aligned-column table renderer."""
+
+    def __init__(self, headers: Sequence[str], title: Optional[str] = None) -> None:
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells) -> None:
+        row = [
+            f"{c:.4g}" if isinstance(c, float) else str(c)
+            for c in cells
+        ]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.headers[i]), *(len(r[i]) for r in self.rows)) if self.rows
+            else len(self.headers[i])
+            for i in range(len(self.headers))
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def render_cdf(samples: Iterable[float], label: str, points: int = 9) -> str:
+    """A textual CDF: value at each decile (for Figures 3 and 6)."""
+    cdf = Cdf(list(samples))
+    qs = np.linspace(0.1, 0.9, points)
+    cells = "  ".join(f"p{int(q * 100):02d}={cdf.quantile(q):.4g}" for q in qs)
+    return f"{label:<24} n={cdf.n:<6} {cells}"
+
+
+def render_scatter_summary(values: Sequence[float], label: str) -> str:
+    """One-line summary standing in for a scatter column of Figure 2/5."""
+    arr = np.asarray(list(values), dtype=float)
+    return (
+        f"{label:<12} mean={arr.mean():8.3f}  min={arr.min():8.3f}  "
+        f"max={arr.max():8.3f}  std={arr.std():7.3f}  n={arr.size}"
+    )

@@ -1,0 +1,145 @@
+"""Generic parameter sweeps over experiment configurations.
+
+A sweep is the cartesian product of override axes applied to a base
+config, yielding one :class:`ExperimentResult` per point plus a long-form
+record table — the workhorse behind custom studies::
+
+    result = sweep(
+        ExperimentConfig(),
+        axes={"placement_index": [1, 4, 8],
+              "policy": [Policy.FIFO, Policy.TLS_ONE]},
+    )
+    print(result.render())
+    print(result.to_csv())
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import TextTable
+from repro.experiments.runner import ExperimentResult, run_experiment
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point: the overrides applied and the measured summary."""
+
+    overrides: Tuple[Tuple[str, Any], ...]
+    avg_jct: float
+    makespan: float
+    barrier_wait_mean: float
+    barrier_wait_var_median: float
+
+    def override_dict(self) -> Dict[str, Any]:
+        return dict(self.overrides)
+
+
+@dataclass
+class SweepResult:
+    axes: Dict[str, Sequence[Any]]
+    points: List[SweepPoint]
+    results: List[ExperimentResult] = field(repr=False, default_factory=list)
+
+    def best(self, key: Callable[[SweepPoint], float] = lambda p: p.avg_jct) -> SweepPoint:
+        return min(self.points, key=key)
+
+    def filtered(self, **conditions: Any) -> List[SweepPoint]:
+        """Points whose overrides match all given key=value conditions."""
+        out = []
+        for p in self.points:
+            d = p.override_dict()
+            if all(d.get(k) == v for k, v in conditions.items()):
+                out.append(p)
+        return out
+
+    def render(self) -> str:
+        axis_names = list(self.axes)
+        table = TextTable(
+            axis_names + ["Avg JCT (s)", "Makespan (s)", "Barrier wait",
+                          "Median var"],
+            title=f"Sweep over {', '.join(axis_names)} "
+                  f"({len(self.points)} points)",
+        )
+        for p in self.points:
+            d = p.override_dict()
+            table.add_row(
+                *[_fmt(d[a]) for a in axis_names],
+                p.avg_jct, p.makespan, p.barrier_wait_mean,
+                p.barrier_wait_var_median,
+            )
+        return table.render()
+
+    def to_csv(self) -> str:
+        axis_names = list(self.axes)
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(axis_names + ["avg_jct", "makespan",
+                                      "barrier_wait_mean",
+                                      "barrier_wait_var_median"])
+        for p in self.points:
+            d = p.override_dict()
+            writer.writerow(
+                [_fmt(d[a]) for a in axis_names]
+                + [f"{p.avg_jct:.6f}", f"{p.makespan:.6f}",
+                   f"{p.barrier_wait_mean:.6f}",
+                   f"{p.barrier_wait_var_median:.8f}"]
+            )
+        return buf.getvalue()
+
+
+def _fmt(v: Any) -> str:
+    return v.value if hasattr(v, "value") else str(v)
+
+
+def sweep(
+    base: ExperimentConfig,
+    axes: Mapping[str, Sequence[Any]],
+    keep_results: bool = False,
+    progress: Optional[Callable[[int, int, Dict[str, Any]], None]] = None,
+) -> SweepResult:
+    """Run the cartesian product of ``axes`` overrides on ``base``.
+
+    Args:
+        keep_results: retain full :class:`ExperimentResult` objects
+            (memory-heavy for big sweeps; summaries are always kept).
+        progress: optional callback ``(i, total, overrides)`` per point.
+    """
+    if not axes:
+        raise ConfigError("sweep needs at least one axis")
+    for name, values in axes.items():
+        if not values:
+            raise ConfigError(f"axis {name!r} has no values")
+        if not hasattr(base, name):
+            raise ConfigError(f"unknown config field {name!r}")
+    names = list(axes)
+    combos = list(itertools.product(*(axes[n] for n in names)))
+    points: List[SweepPoint] = []
+    results: List[ExperimentResult] = []
+    for i, combo in enumerate(combos):
+        overrides = dict(zip(names, combo))
+        if progress is not None:
+            progress(i, len(combos), overrides)
+        res = run_experiment(base.replace(**overrides))
+        variances = res.barrier_wait_variances()
+        points.append(
+            SweepPoint(
+                overrides=tuple(overrides.items()),
+                avg_jct=res.avg_jct,
+                makespan=res.makespan,
+                barrier_wait_mean=float(res.barrier_wait_means().mean()),
+                barrier_wait_var_median=float(np.median(variances))
+                if variances.size else 0.0,
+            )
+        )
+        if keep_results:
+            results.append(res)
+    return SweepResult(axes=dict(axes), points=points, results=results)

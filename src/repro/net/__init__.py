@@ -1,0 +1,30 @@
+"""Network substrate: packets, queueing disciplines, NICs, switch, transport.
+
+This package models exactly the parts of the testbed network that produce
+the paper's phenomenon:
+
+* per-host NICs that serialize outbound segments through a pluggable
+  queueing discipline (FIFO by default, HTB/prio when TensorLights is on),
+* an output-queued Ethernet switch in a star topology,
+* a windowed, ACK-clocked transport so concurrent flows interleave in a
+  FIFO qdisc the way TCP flows do on a real NIC.
+"""
+
+from repro.net.addressing import FlowKey
+from repro.net.link import Link
+from repro.net.nic import NIC
+from repro.net.packet import Message, Segment
+from repro.net.switch import Switch
+from repro.net.topology import StarNetwork
+from repro.net.transport import Transport
+
+__all__ = [
+    "FlowKey",
+    "Link",
+    "Message",
+    "NIC",
+    "Segment",
+    "StarNetwork",
+    "Switch",
+    "Transport",
+]

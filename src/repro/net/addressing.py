@@ -1,0 +1,27 @@
+"""Flow addressing.
+
+A :class:`FlowKey` is the TCP five-tuple minus the protocol field (all
+traffic here is TCP-like).  TensorLights filters classify packets by the
+*source port* of the PS, exactly like the paper's ``tc`` filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class FlowKey:
+    """Identifies one direction of one connection."""
+
+    src_host: str
+    src_port: int
+    dst_host: str
+    dst_port: int
+
+    def reversed(self) -> "FlowKey":
+        """The opposite direction of the same connection."""
+        return FlowKey(self.dst_host, self.dst_port, self.src_host, self.src_port)
+
+    def __str__(self) -> str:
+        return f"{self.src_host}:{self.src_port}->{self.dst_host}:{self.dst_port}"

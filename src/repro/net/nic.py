@@ -1,0 +1,194 @@
+"""The host NIC: serializes outbound segments through a pluggable qdisc.
+
+This is where TensorLights intervenes.  The NIC owns exactly one egress
+qdisc (FIFO unless `tc` replaced it); it drains the qdisc at link rate and
+notifies the transport when each segment has been serialized (the ACK-clock
+hook that keeps per-flow windows full).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.errors import NetworkError
+from repro.net.packet import Segment
+from repro.net.qdisc.base import Qdisc
+from repro.net.qdisc.fifo import PFifo
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+#: Guard against zero-progress retry loops in shaped qdiscs.
+_MIN_RETRY_DELAY = 1e-9
+
+
+class NIC:
+    """A full-duplex network interface.
+
+    TX: ``send`` enqueues into the qdisc; an internal serializer drains it
+    at ``rate`` bytes/second.  RX: the wired peer calls ``receive``.
+
+    Callbacks:
+        on_segment_sent(segment): fired when a segment finishes serializing
+            (transport window refill).
+        on_receive(segment): fired on segment arrival.
+        deliver(segment): wired by the topology — where serialized segments
+            go next (the switch ingress), after link latency.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        host_id: str,
+        rate: float,
+        qdisc: Optional[Qdisc] = None,
+    ) -> None:
+        if rate <= 0:
+            raise NetworkError(f"NIC rate must be positive, got {rate}")
+        self.sim = sim
+        self.host_id = host_id
+        self.rate = rate
+        self.qdisc: Qdisc = qdisc if qdisc is not None else PFifo()
+        self.on_segment_sent: Optional[Callable[[Segment], None]] = None
+        self.on_receive: Optional[Callable[[Segment], None]] = None
+        #: fired when the egress qdisc AQM-drops an accepted segment
+        self.on_segment_dropped: Optional[Callable[[Segment], None]] = None
+        self.qdisc.on_drop = self._handle_qdisc_drop
+        self._deliver: Optional[Callable[[Segment], None]] = None
+        self._link_latency = 0.0
+
+        self._tx_busy = False
+        self._retry_event = None
+
+        # counters
+        self.bytes_tx = 0
+        self.bytes_rx = 0
+        self.segments_tx = 0
+        self.segments_rx = 0
+        self.busy_time = 0.0
+        self._busy_since = 0.0
+
+    # -- wiring ---------------------------------------------------------
+
+    def attach_link(self, deliver: Callable[[Segment], None], latency: float) -> None:
+        """Connect the TX side to a peer (done by the topology builder)."""
+        self._deliver = deliver
+        self._link_latency = latency
+
+    def set_qdisc(self, qdisc: Qdisc) -> None:
+        """``tc qdisc replace``: swap the egress qdisc.
+
+        Divergence from Linux (documented in DESIGN.md): the backlog of the
+        old qdisc is migrated into the new one instead of dropped, so a
+        reconfiguration mid-experiment never silently loses traffic.
+        """
+        now = self.sim.now
+        pending = self.qdisc.drain_all(now)
+        self.qdisc = qdisc
+        self.qdisc.on_drop = self._handle_qdisc_drop
+        for seg in pending:
+            if not qdisc.enqueue(seg, now):
+                raise NetworkError("new qdisc dropped migrated backlog")
+        self._cancel_retry()
+        self._kick()
+
+    # -- TX path ----------------------------------------------------------
+
+    def send(self, seg: Segment) -> None:
+        """Hand a segment to the egress qdisc.
+
+        Raises :class:`NetworkError` on drop — queue limits are sized so
+        drops never happen in a correctly configured experiment, and a
+        loud failure beats a transport that waits forever.
+        """
+        if not self.qdisc.enqueue(seg, self.sim.now):
+            raise NetworkError(
+                f"qdisc on {self.host_id} dropped {seg!r} "
+                f"(backlog={len(self.qdisc)})"
+            )
+        self._kick()
+
+    def _kick(self) -> None:
+        if self._tx_busy:
+            return
+        now = self.sim.now
+        seg = self.qdisc.dequeue(now)
+        if seg is None:
+            if len(self.qdisc) > 0:
+                self._arm_retry()
+            return
+        self._cancel_retry()
+        self._tx_busy = True
+        self._busy_since = now
+        tx_time = seg.size / self.rate
+        self.sim.schedule(tx_time, self._tx_done, (seg,))
+
+    def _tx_done(self, seg: Segment) -> None:
+        now = self.sim.now
+        self._tx_busy = False
+        self.busy_time += now - self._busy_since
+        self.bytes_tx += seg.size
+        self.segments_tx += 1
+        self.sim.trace.record(
+            "nic_tx", host=self.host_id, flow=str(seg.flow), seg=seg.index,
+            msg=seg.message.msg_id, size=seg.size,
+        )
+        if self._deliver is None:
+            raise NetworkError(f"NIC {self.host_id} has no link attached")
+        self.sim.schedule(self._link_latency, self._deliver, (seg,))
+        if self.on_segment_sent is not None:
+            self.on_segment_sent(seg)
+        self._kick()
+
+    def _handle_qdisc_drop(self, seg: Segment) -> None:
+        """An AQM head drop: notify the local transport."""
+        self.sim.trace.record(
+            "aqm_drop", host=self.host_id, flow=str(seg.flow), seg=seg.index,
+        )
+        if self.on_segment_dropped is not None:
+            self.on_segment_dropped(seg)
+
+    def _arm_retry(self) -> None:
+        ready = self.qdisc.next_ready_time(self.sim.now)
+        if ready is None:
+            return
+        delay = max(ready - self.sim.now, _MIN_RETRY_DELAY)
+        self._cancel_retry()
+        self._retry_event = self.sim.schedule(delay, self._retry)
+
+    def _retry(self) -> None:
+        self._retry_event = None
+        self._kick()
+
+    def _cancel_retry(self) -> None:
+        if self._retry_event is not None:
+            self.sim.cancel(self._retry_event)
+            self._retry_event = None
+
+    # -- RX path ----------------------------------------------------------
+
+    def receive(self, seg: Segment) -> None:
+        self.bytes_rx += seg.size
+        self.segments_rx += 1
+        if self.on_receive is not None:
+            self.on_receive(seg)
+
+    # -- monitoring ---------------------------------------------------------
+
+    @property
+    def tx_backlog(self) -> int:
+        return len(self.qdisc)
+
+    def utilization_snapshot(self) -> dict:
+        """Cumulative counters for ifstat-style differencing."""
+        busy = self.busy_time
+        if self._tx_busy:
+            busy += self.sim.now - self._busy_since
+        return {
+            "bytes_tx": self.bytes_tx,
+            "bytes_rx": self.bytes_rx,
+            "busy_time": busy,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<NIC {self.host_id} backlog={len(self.qdisc)} busy={self._tx_busy}>"

@@ -1,0 +1,84 @@
+"""Messages and segments.
+
+Applications exchange :class:`Message` objects (a model update, a gradient
+update).  The transport slices a message into :class:`Segment` objects —
+the unit the NIC serializes.  Segment size is configurable; it plays the
+role of the TCP segment/MTU, scaled up so that simulations stay fast while
+preserving the interleaving granularity that matters (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.errors import NetworkError
+from repro.net.addressing import FlowKey
+
+_message_ids = itertools.count()
+
+
+@dataclass(slots=True)
+class Message:
+    """An application-level transfer over one flow.
+
+    Attributes:
+        flow: sender -> receiver addressing.
+        size: payload bytes.
+        kind: application tag (``"model_update"``, ``"gradient_update"``...).
+        meta: free-form application metadata (job id, iteration, ...).
+        created_at: simulated send time (stamped by the transport).
+        delivered_at: simulated full-reassembly time at the receiver.
+    """
+
+    flow: FlowKey
+    size: int
+    kind: str = "data"
+    meta: Dict[str, Any] = field(default_factory=dict)
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+    created_at: float = -1.0
+    delivered_at: float = -1.0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise NetworkError(f"message size must be positive, got {self.size}")
+
+    @property
+    def latency(self) -> float:
+        """Delivery latency; valid once delivered."""
+        if self.delivered_at < 0 or self.created_at < 0:
+            raise NetworkError("message not delivered yet")
+        return self.delivered_at - self.created_at
+
+
+@dataclass(slots=True)
+class Segment:
+    """One NIC-serializable slice of a message."""
+
+    message: Message
+    index: int
+    size: int
+    is_last: bool
+
+    @property
+    def flow(self) -> FlowKey:
+        return self.message.flow
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Seg msg={self.message.msg_id} #{self.index} {self.size}B>"
+
+
+def segment_message(message: Message, segment_bytes: int) -> list[Segment]:
+    """Slice ``message`` into segments of at most ``segment_bytes``."""
+    if segment_bytes <= 0:
+        raise NetworkError(f"segment_bytes must be positive, got {segment_bytes}")
+    segments: list[Segment] = []
+    remaining = message.size
+    index = 0
+    while remaining > 0:
+        size = min(segment_bytes, remaining)
+        remaining -= size
+        segments.append(Segment(message, index, size, is_last=remaining == 0))
+        index += 1
+    return segments

@@ -1,0 +1,77 @@
+"""Qdisc interface."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.packet import Segment
+
+
+class Qdisc:
+    """Abstract queueing discipline.
+
+    Contract:
+
+    * ``enqueue(seg, now)`` returns ``True`` if accepted, ``False`` if the
+      segment was dropped (queue overflow).
+    * ``dequeue(now)`` returns the next segment eligible for transmission
+      *at time now*, or ``None``.  ``None`` with ``backlog > 0`` means the
+      qdisc is shaping; the caller should retry at ``next_ready_time(now)``.
+    * A work-conserving qdisc never returns ``None`` while backlogged.
+    """
+
+    #: True when dequeue(now) never returns None while backlogged.
+    work_conserving: bool = True
+
+    def enqueue(self, seg: Segment, now: float) -> bool:
+        raise NotImplementedError
+
+    def dequeue(self, now: float) -> Optional[Segment]:
+        raise NotImplementedError
+
+    def next_ready_time(self, now: float) -> Optional[float]:
+        """Earliest time a backlogged-but-shaped qdisc can send.
+
+        Work-conserving qdiscs return ``now`` when backlogged and ``None``
+        when empty.
+        """
+        return now if len(self) > 0 else None
+
+    def drain_all(self, now: float) -> list[Segment]:
+        """Remove and return every queued segment, ignoring shaping.
+
+        Used when a qdisc is replaced (``tc qdisc replace``): the backlog
+        migrates to the new qdisc regardless of token state.  The default
+        implementation works for work-conserving qdiscs; shaped qdiscs
+        override it.
+        """
+        out = []
+        while True:
+            seg = self.dequeue(now)
+            if seg is None:
+                break
+            out.append(seg)
+        return out
+
+    def __len__(self) -> int:
+        """Number of queued segments."""
+        raise NotImplementedError
+
+    @property
+    def backlog_bytes(self) -> int:
+        """Total queued payload bytes."""
+        raise NotImplementedError
+
+    # -- statistics shared by all implementations -------------------------
+
+    drops: int = 0
+
+    #: Optional callback fired when a qdisc drops a segment it had
+    #: previously *accepted* (AQM head drops).  The NIC wires this to the
+    #: local transport's loss handler so the flow's window slot is
+    #: released and the segment retransmitted.  Tail drops at enqueue are
+    #: reported through the ``enqueue -> False`` return instead.
+    on_drop = None
+
+    def _note_drop(self) -> None:
+        self.drops += 1

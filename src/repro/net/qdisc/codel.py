@@ -1,0 +1,119 @@
+"""``codel`` — Controlled Delay active queue management.
+
+CoDel drops from the *head* of the queue when packets have been sojourning
+longer than ``target`` for at least an ``interval``, signalling senders to
+back off before the queue grows deep.  Implemented per the Nichols/
+Jacobson sketch: in the dropping state, drop intervals shrink by
+``1/sqrt(count)``.
+
+Included as a modern-baseline ablation: AQM fixes *bufferbloat* (queueing
+delay), not the paper's *straggler* problem — an all-or-nothing fan-out
+still completes at the tail under FIFO ordering, drops or not.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.errors import QdiscError
+from repro.net.packet import Segment
+from repro.net.qdisc.base import Qdisc
+
+
+class CoDelQdisc(Qdisc):
+    """Controlled-delay AQM over a FIFO."""
+
+    work_conserving = True
+
+    def __init__(
+        self,
+        target: float = 0.005,
+        interval: float = 0.1,
+        limit: int = 1_000_000,
+    ) -> None:
+        if target <= 0 or interval <= 0:
+            raise QdiscError("codel target/interval must be positive")
+        self.target = target
+        self.interval = interval
+        self.limit = limit
+        #: (enqueue_time, segment)
+        self._queue: Deque[Tuple[float, Segment]] = deque()
+        self._bytes = 0
+        self.drops = 0
+        self.aqm_drops = 0
+        # CoDel state
+        self._first_above_time = 0.0
+        self._dropping = False
+        self._drop_next = 0.0
+        self._count = 0
+
+    def enqueue(self, seg: Segment, now: float) -> bool:
+        if len(self._queue) >= self.limit:
+            self._note_drop()
+            return False
+        self._queue.append((now, seg))
+        self._bytes += seg.size
+        return True
+
+    def _sojourn_ok(self, enq_time: float, now: float) -> bool:
+        return (now - enq_time) < self.target
+
+    def _should_enter_drop(self, now: float) -> bool:
+        if not self._queue:
+            self._first_above_time = 0.0
+            return False
+        enq_time, _ = self._queue[0]
+        if self._sojourn_ok(enq_time, now):
+            self._first_above_time = 0.0
+            return False
+        if self._first_above_time == 0.0:
+            self._first_above_time = now + self.interval
+            return False
+        return now >= self._first_above_time
+
+    def dequeue(self, now: float) -> Optional[Segment]:
+        while self._queue:
+            if self._dropping:
+                if not self._queue:
+                    break
+                enq_time, seg = self._queue[0]
+                if self._sojourn_ok(enq_time, now):
+                    self._dropping = False
+                elif now >= self._drop_next:
+                    self._queue.popleft()
+                    self._bytes -= seg.size
+                    self.aqm_drops += 1
+                    self._note_drop()
+                    if self.on_drop is not None:
+                        self.on_drop(seg)
+                    self._count += 1
+                    self._drop_next = now + self.interval / math.sqrt(self._count)
+                    continue
+            elif self._should_enter_drop(now):
+                self._dropping = True
+                self._count = max(1, self._count // 2)
+                self._drop_next = now
+                continue
+            break
+        if not self._queue:
+            return None
+        _, seg = self._queue.popleft()
+        self._bytes -= seg.size
+        return seg
+
+    def drain_all(self, now: float) -> list[Segment]:
+        out = [seg for _, seg in self._queue]
+        self._queue.clear()
+        self._bytes = 0
+        self._dropping = False
+        self._first_above_time = 0.0
+        return out
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def backlog_bytes(self) -> int:
+        return self._bytes

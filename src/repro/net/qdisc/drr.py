@@ -1,0 +1,94 @@
+"""Deficit round robin — per-flow fair queueing.
+
+Not used by TensorLights itself; it is the "fair sharing" ablation
+baseline (DESIGN.md A4).  Fair queueing equalizes *rates*, which — for
+bursty all-or-nothing fan-out transfers — makes every message finish at
+the tail, i.e. it reproduces FIFO's straggler problem almost exactly.
+Including it demonstrates that TensorLights' benefit comes from
+*serializing jobs*, not merely from isolating flows.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Optional
+
+from repro.errors import QdiscError
+from repro.net.addressing import FlowKey
+from repro.net.packet import Segment
+from repro.net.qdisc.base import Qdisc
+
+
+class _FlowQueue:
+    __slots__ = ("queue", "deficit")
+
+    def __init__(self) -> None:
+        self.queue: Deque[Segment] = deque()
+        self.deficit = 0.0
+
+
+class DRRQdisc(Qdisc):
+    """Classic DRR over dynamically created per-flow queues."""
+
+    work_conserving = True
+
+    def __init__(self, quantum: int = 256 * 1024, limit: int = 1_000_000) -> None:
+        if quantum <= 0:
+            raise QdiscError(f"quantum must be positive, got {quantum}")
+        self.quantum = quantum
+        self.limit = limit
+        # OrderedDict doubles as the active list: iteration order is the
+        # round-robin order; re-inserting moves a flow to the tail.
+        self._flows: "OrderedDict[FlowKey, _FlowQueue]" = OrderedDict()
+        self._len = 0
+        self._bytes = 0
+        self.drops = 0
+
+    def enqueue(self, seg: Segment, now: float) -> bool:
+        if self._len >= self.limit:
+            self._note_drop()
+            return False
+        fq = self._flows.get(seg.flow)
+        if fq is None:
+            fq = _FlowQueue()
+            self._flows[seg.flow] = fq
+        fq.queue.append(seg)
+        self._len += 1
+        self._bytes += seg.size
+        return True
+
+    def dequeue(self, now: float) -> Optional[Segment]:
+        while self._flows:
+            flow, fq = next(iter(self._flows.items()))
+            if not fq.queue:
+                # Emptied flow: retire it (deficit resets, per classic DRR).
+                del self._flows[flow]
+                continue
+            head = fq.queue[0]
+            if fq.deficit < head.size:
+                # Out of deficit: move to tail with a fresh quantum.
+                fq.deficit += self.quantum
+                self._flows.move_to_end(flow)
+                # Guard: if a single segment exceeds the quantum, the flow
+                # accumulates deficit across rounds — loop continues and
+                # terminates because deficit grows monotonically.
+                continue
+            fq.deficit -= head.size
+            fq.queue.popleft()
+            self._len -= 1
+            self._bytes -= head.size
+            if not fq.queue:
+                del self._flows[flow]
+            return head
+        return None
+
+    @property
+    def n_flows(self) -> int:
+        return len(self._flows)
+
+    def __len__(self) -> int:
+        return self._len
+
+    @property
+    def backlog_bytes(self) -> int:
+        return self._bytes

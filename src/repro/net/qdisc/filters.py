@@ -1,0 +1,54 @@
+"""Traffic classifiers (``tc filter`` equivalents).
+
+A filter maps a segment to a class/band id.  TensorLights keys on the PS's
+TCP **source port**, because in TensorFlow the PS port is fixed for the
+lifetime of the job (paper §V, Implementation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.net.packet import Segment
+
+
+class FlowFilter:
+    """Base classifier: returns a class id for a segment, or None."""
+
+    def classify(self, seg: Segment) -> Optional[int]:
+        raise NotImplementedError
+
+
+class PortFilter(FlowFilter):
+    """Classify by source port (and optionally destination port).
+
+    ``add_match(port, classid)`` mirrors
+    ``tc filter add ... match ip sport <port> ... flowid 1:<classid>``.
+    """
+
+    def __init__(self, default_class: Optional[int] = None) -> None:
+        self._by_src: Dict[int, int] = {}
+        self._by_dst: Dict[int, int] = {}
+        self.default_class = default_class
+
+    def add_match(self, port: int, classid: int, direction: str = "src") -> None:
+        table = self._by_src if direction == "src" else self._by_dst
+        table[port] = classid
+
+    def remove_match(self, port: int, direction: str = "src") -> None:
+        table = self._by_src if direction == "src" else self._by_dst
+        table.pop(port, None)
+
+    def classify(self, seg: Segment) -> Optional[int]:
+        flow = seg.flow
+        classid = self._by_src.get(flow.src_port)
+        if classid is not None:
+            return classid
+        classid = self._by_dst.get(flow.dst_port)
+        if classid is not None:
+            return classid
+        return self.default_class
+
+    @property
+    def n_matches(self) -> int:
+        return len(self._by_src) + len(self._by_dst)

@@ -1,0 +1,387 @@
+"""``htb`` — hierarchical token bucket.
+
+This is the qdisc the paper actually configures (``tc ... htb``): a class
+tree where every class has a guaranteed ``rate``, a ``ceil`` it may burst
+to by *borrowing* from its parent, and a ``prio`` that orders classes when
+excess (borrowed) bandwidth is handed out.
+
+Faithful semantics implemented here:
+
+* guaranteed rates are always honored: a class whose own bucket has tokens
+  ("green") sends before any class that needs to borrow ("yellow"),
+  regardless of priority;
+* excess bandwidth goes to the *lowest prio value* among borrowing-capable
+  classes; ties are broken by deficit round robin with per-class quantum;
+* ``ceil`` is a hard cap enforced with a second (ceiling) bucket;
+* borrowing charges the lender's rate bucket and every hop's ceil bucket,
+  so a mid-tree class's ceil constrains its whole subtree;
+* with a root class of ``rate == ceil == link rate`` the qdisc is
+  work-conserving — TensorLights relies on this (paper §IV-B, advantage 3).
+
+TensorLights' standard configuration (built by
+:mod:`repro.tensorlights.tc`) is a root class at the link rate plus one
+leaf per priority band with a tiny guaranteed rate, ``ceil`` = link rate
+and ``prio`` = band index — which behaves as a work-conserving strict
+priority scheduler with starvation protection.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, Optional
+
+from repro.errors import QdiscError
+from repro.net.packet import Segment
+from repro.net.qdisc.base import Qdisc
+from repro.net.qdisc.filters import FlowFilter
+from repro.net.qdisc.tbf import TokenBucket
+
+#: Default burst sizing: allow ~this much time of full-rate accumulation.
+DEFAULT_BURST_SECONDS = 0.002
+#: Minimum burst so tiny-rate classes can still emit one max-size segment.
+MIN_BURST_BYTES = 512 * 1024
+
+
+class HTBClass:
+    """One node in the HTB class tree."""
+
+    __slots__ = (
+        "classid",
+        "parent",
+        "children",
+        "rate",
+        "ceil",
+        "prio",
+        "quantum",
+        "bucket",
+        "cbucket",
+        "queue",
+        "queued_bytes",
+        "deficit",
+        "sent_bytes",
+    )
+
+    def __init__(
+        self,
+        classid: int,
+        rate: float,
+        ceil: float,
+        prio: int,
+        quantum: int,
+        parent: Optional["HTBClass"],
+        burst: Optional[float] = None,
+        cburst: Optional[float] = None,
+    ) -> None:
+        if rate <= 0:
+            raise QdiscError(f"class {classid}: rate must be positive, got {rate}")
+        if ceil < rate:
+            raise QdiscError(f"class {classid}: ceil ({ceil}) < rate ({rate})")
+        self.classid = classid
+        self.parent = parent
+        self.children: list[HTBClass] = []
+        self.rate = rate
+        self.ceil = ceil
+        self.prio = prio
+        self.quantum = quantum
+        if burst is None:
+            burst = max(MIN_BURST_BYTES, rate * DEFAULT_BURST_SECONDS)
+        if cburst is None:
+            cburst = max(MIN_BURST_BYTES, ceil * DEFAULT_BURST_SECONDS)
+        self.bucket = TokenBucket(rate, burst)
+        self.cbucket = TokenBucket(ceil, cburst)
+        self.queue: Deque[Segment] = deque()
+        self.queued_bytes = 0
+        self.deficit = 0.0
+        self.sent_bytes = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def ancestors(self):
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<HTBClass {self.classid} rate={self.rate:.0f} ceil={self.ceil:.0f} "
+            f"prio={self.prio} qlen={len(self.queue)}>"
+        )
+
+
+class HTBQdisc(Qdisc):
+    """The hierarchical token bucket qdisc."""
+
+    work_conserving = False  # in general; True for the TensorLights config
+
+    def __init__(
+        self,
+        filter: Optional[FlowFilter] = None,
+        default_classid: Optional[int] = None,
+    ) -> None:
+        self.filter = filter
+        self.default_classid = default_classid
+        self.classes: Dict[int, HTBClass] = {}
+        self.drops = 0
+        self._len = 0
+        self._bytes = 0
+        self._last_served: Dict[int, int] = {}
+        self._serve_seq = 0
+
+    # -- configuration (tc class add/change/del) ---------------------------
+
+    def add_class(
+        self,
+        classid: int,
+        rate: float,
+        ceil: Optional[float] = None,
+        prio: int = 0,
+        quantum: Optional[int] = None,
+        parent: Optional[int] = None,
+        burst: Optional[float] = None,
+        cburst: Optional[float] = None,
+    ) -> HTBClass:
+        """``tc class add ... classid <id> htb rate R ceil C prio P``."""
+        if classid in self.classes:
+            raise QdiscError(f"class {classid} already exists")
+        parent_cls: Optional[HTBClass] = None
+        if parent is not None:
+            parent_cls = self.classes.get(parent)
+            if parent_cls is None:
+                raise QdiscError(f"parent class {parent} does not exist")
+            if parent_cls.queue:
+                raise QdiscError(
+                    f"cannot attach a child to class {parent}: it has queued packets"
+                )
+        cls = HTBClass(
+            classid=classid,
+            rate=rate,
+            ceil=ceil if ceil is not None else rate,
+            prio=prio,
+            quantum=quantum if quantum is not None else 200 * 1024,
+            parent=parent_cls,
+            burst=burst,
+            cburst=cburst,
+        )
+        if parent_cls is not None:
+            parent_cls.children.append(cls)
+        self.classes[classid] = cls
+        return cls
+
+    def change_class(
+        self,
+        classid: int,
+        rate: Optional[float] = None,
+        ceil: Optional[float] = None,
+        prio: Optional[int] = None,
+    ) -> None:
+        """``tc class change ...`` — used by TLs-RR to rotate priorities."""
+        cls = self._get(classid)
+        if rate is not None:
+            cls.rate = rate
+            cls.bucket.rate = rate
+        if ceil is not None:
+            if ceil < cls.rate:
+                raise QdiscError(f"class {classid}: ceil ({ceil}) < rate ({cls.rate})")
+            cls.ceil = ceil
+            cls.cbucket.rate = ceil
+        if prio is not None:
+            cls.prio = prio
+
+    def del_class(self, classid: int) -> None:
+        """``tc class del ...`` — queued packets of the class are dropped."""
+        cls = self._get(classid)
+        if cls.children:
+            raise QdiscError(f"class {classid} still has children")
+        if cls.parent is not None:
+            cls.parent.children.remove(cls)
+        self._len -= len(cls.queue)
+        self._bytes -= cls.queued_bytes
+        del self.classes[classid]
+
+    def _get(self, classid: int) -> HTBClass:
+        cls = self.classes.get(classid)
+        if cls is None:
+            raise QdiscError(f"class {classid} does not exist")
+        return cls
+
+    # -- datapath -----------------------------------------------------------
+
+    def _leaf_for(self, seg: Segment) -> Optional[HTBClass]:
+        classid = self.filter.classify(seg) if self.filter is not None else None
+        if classid is None:
+            classid = self.default_classid
+        if classid is None:
+            return None
+        cls = self.classes.get(classid)
+        if cls is None or not cls.is_leaf:
+            cls = (
+                self.classes.get(self.default_classid)
+                if self.default_classid is not None
+                else None
+            )
+        if cls is None or not cls.is_leaf:
+            return None
+        return cls
+
+    def enqueue(self, seg: Segment, now: float) -> bool:
+        leaf = self._leaf_for(seg)
+        if leaf is None:
+            self._note_drop()
+            return False
+        leaf.queue.append(seg)
+        leaf.queued_bytes += seg.size
+        self._len += 1
+        self._bytes += seg.size
+        return True
+
+    def _green(self, leaf: HTBClass, size: int, now: float) -> bool:
+        """Leaf can send within its own guaranteed rate (and its ceil)."""
+        return leaf.bucket.can_consume(size, now) and leaf.cbucket.can_consume(size, now)
+
+    def _lender(self, leaf: HTBClass, size: int, now: float) -> Optional[HTBClass]:
+        """Nearest ancestor whose rate bucket can cover ``size``.
+
+        Every hop on the way up (including the lender) must have ceil
+        headroom; otherwise that subtree is capped and cannot borrow
+        through it.
+        """
+        if not leaf.cbucket.can_consume(size, now):
+            return None
+        for anc in leaf.ancestors():
+            if not anc.cbucket.can_consume(size, now):
+                return None
+            if anc.bucket.can_consume(size, now):
+                return anc
+        return None
+
+    def _charge(self, leaf: HTBClass, lender: Optional[HTBClass], size: int, now: float) -> None:
+        """Consume tokens after a send.
+
+        The rate bucket of the sender (green) or the lender (yellow) is
+        charged; ceil buckets are charged along the whole path so every
+        level's cap holds.
+        """
+        if lender is None:
+            leaf.bucket.consume(size, now)
+        else:
+            lender.bucket.consume(size, now)
+        leaf.cbucket.consume(size, now)
+        for anc in leaf.ancestors():
+            anc.cbucket.consume(size, now)
+            if anc is lender:
+                break
+        leaf.sent_bytes += size
+
+    def _select(self, candidates: list[HTBClass]) -> HTBClass:
+        """Priority first; DRR (deficit + quantum) among equal priorities.
+
+        Fairness among peers uses a least-recently-served rotation: of the
+        peers whose deficit covers their head segment, pick the one served
+        longest ago; when no peer has deficit, replenish all by quantum.
+        """
+        best_prio = min(c.prio for c in candidates)
+        peers = [c for c in candidates if c.prio == best_prio]
+        if len(peers) == 1:
+            chosen = peers[0]
+        else:
+            chosen = None
+            while chosen is None:
+                ready = [c for c in peers if c.deficit >= c.queue[0].size]
+                if ready:
+                    chosen = min(
+                        ready, key=lambda c: (self._last_served.get(c.classid, -1), c.classid)
+                    )
+                else:
+                    for cls in peers:
+                        cls.deficit += cls.quantum
+        self._serve_seq += 1
+        self._last_served[chosen.classid] = self._serve_seq
+        return chosen
+
+    def dequeue(self, now: float) -> Optional[Segment]:
+        backlogged = [c for c in self.classes.values() if c.is_leaf and c.queue]
+        if not backlogged:
+            return None
+
+        green = [c for c in backlogged if self._green(c, c.queue[0].size, now)]
+        if green:
+            leaf = self._select(green)
+            lender = None
+        else:
+            lenders = {
+                c.classid: self._lender(c, c.queue[0].size, now) for c in backlogged
+            }
+            yellow = [c for c in backlogged if lenders[c.classid] is not None]
+            if not yellow:
+                return None
+            leaf = self._select(yellow)
+            lender = lenders[leaf.classid]
+
+        seg = leaf.queue.popleft()
+        leaf.queued_bytes -= seg.size
+        leaf.deficit = max(0.0, leaf.deficit - seg.size)
+        self._len -= 1
+        self._bytes -= seg.size
+        self._charge(leaf, lender, seg.size, now)
+        return seg
+
+    def next_ready_time(self, now: float) -> Optional[float]:
+        """Earliest time any backlogged leaf could become green or yellow."""
+        best: Optional[float] = None
+        for leaf in self.classes.values():
+            if not leaf.is_leaf or not leaf.queue:
+                continue
+            size = leaf.queue[0].size
+            # Time to green: own rate bucket and own ceil bucket.
+            t_green = max(
+                leaf.bucket.time_until(size, now),
+                leaf.cbucket.time_until(size, now),
+            )
+            candidate = t_green
+            # Time to yellow through the nearest ancestor (hop ceils apply).
+            t_path = leaf.cbucket.time_until(size, now)
+            for anc in leaf.ancestors():
+                t_hop = anc.cbucket.time_until(size, now)
+                t_lend = max(t_path, t_hop, anc.bucket.time_until(size, now))
+                candidate = min(candidate, t_lend)
+                t_path = max(t_path, t_hop)
+            if best is None or candidate < best:
+                best = candidate
+        if best is None:
+            return None
+        return now + best
+
+    def drain_all(self, now: float) -> list:
+        """Pull every queued segment out, ignoring token state.
+
+        Leaves are drained in (classid) order; within a leaf, FIFO order is
+        preserved — sufficient for qdisc replacement, where the new qdisc
+        re-classifies everything anyway.
+        """
+        out = []
+        for classid in sorted(self.classes):
+            leaf = self.classes[classid]
+            while leaf.queue:
+                seg = leaf.queue.popleft()
+                leaf.queued_bytes -= seg.size
+                out.append(seg)
+        self._len = 0
+        self._bytes = 0
+        return out
+
+    def __len__(self) -> int:
+        return self._len
+
+    @property
+    def backlog_bytes(self) -> int:
+        return self._bytes
+
+    def class_backlog(self, classid: int) -> int:
+        return len(self._get(classid).queue)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        leaves = {c.classid: len(c.queue) for c in self.classes.values() if c.is_leaf}
+        return f"HTBQdisc(leaves={leaves})"

@@ -1,0 +1,96 @@
+"""``netem`` — network emulation: added delay, jitter and random loss.
+
+Wraps a child qdisc.  Dequeued segments become eligible only after their
+emulated extra delay has elapsed; segments may also be dropped with a
+configured probability at enqueue (loss is signalled through the normal
+``enqueue -> False`` path so callers see it the same way as any drop).
+
+Used by robustness experiments: does TensorLights still help on a lossy
+or long-RTT fabric?  (The paper's testbed is a single clean switch; this
+is an extension, not a paper experiment.)
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import QdiscError
+from repro.net.packet import Segment
+from repro.net.qdisc.base import Qdisc
+
+
+class NetemQdisc(Qdisc):
+    """Delay/jitter/loss emulation in front of a FIFO."""
+
+    work_conserving = False
+
+    def __init__(
+        self,
+        delay: float = 0.0,
+        jitter: float = 0.0,
+        loss: float = 0.0,
+        seed: int = 0,
+        limit: int = 1_000_000,
+    ) -> None:
+        if delay < 0 or jitter < 0:
+            raise QdiscError("netem delay/jitter must be >= 0")
+        if not 0.0 <= loss < 1.0:
+            raise QdiscError(f"netem loss must be in [0, 1), got {loss}")
+        self.delay = delay
+        self.jitter = jitter
+        self.loss = loss
+        self.limit = limit
+        self._rng = np.random.default_rng(seed)
+        #: (ready_time, seq, segment) min-heap
+        self._staged: List[Tuple[float, int, Segment]] = []
+        self._seq = 0
+        self._bytes = 0
+        self.drops = 0
+        self.lost = 0
+
+    def _emulated_delay(self) -> float:
+        if self.jitter == 0.0:
+            return self.delay
+        return max(0.0, float(self._rng.normal(self.delay, self.jitter)))
+
+    def enqueue(self, seg: Segment, now: float) -> bool:
+        if len(self._staged) >= self.limit:
+            self._note_drop()
+            return False
+        if self.loss > 0.0 and self._rng.random() < self.loss:
+            self.lost += 1
+            self._note_drop()
+            return False
+        ready = now + self._emulated_delay()
+        heapq.heappush(self._staged, (ready, self._seq, seg))
+        self._seq += 1
+        self._bytes += seg.size
+        return True
+
+    def dequeue(self, now: float) -> Optional[Segment]:
+        if not self._staged or self._staged[0][0] > now:
+            return None
+        _, _, seg = heapq.heappop(self._staged)
+        self._bytes -= seg.size
+        return seg
+
+    def next_ready_time(self, now: float) -> Optional[float]:
+        if not self._staged:
+            return None
+        return max(now, self._staged[0][0])
+
+    def drain_all(self, now: float) -> list[Segment]:
+        out = [seg for _, _, seg in sorted(self._staged)]
+        self._staged.clear()
+        self._bytes = 0
+        return out
+
+    def __len__(self) -> int:
+        return len(self._staged)
+
+    @property
+    def backlog_bytes(self) -> int:
+        return self._bytes

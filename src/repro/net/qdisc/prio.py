@@ -1,0 +1,77 @@
+"""``prio`` — strict priority bands.
+
+Band 0 drains completely before band 1 is considered, and so on.  This is
+the idealized work-conserving priority scheduler; TensorLights' HTB
+configuration approximates it while also offering guaranteed rates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import QdiscError
+from repro.net.packet import Segment
+from repro.net.qdisc.base import Qdisc
+from repro.net.qdisc.fifo import PFifo
+from repro.net.qdisc.filters import FlowFilter
+
+
+class PrioQdisc(Qdisc):
+    """Strict-priority qdisc with ``bands`` FIFO bands and a classifier.
+
+    Unclassified traffic goes to the lowest-priority band (like the last
+    band of ``pfifo_fast``), so adding priorities can only help classified
+    flows, never starve the default path ahead of them.
+    """
+
+    work_conserving = True
+
+    def __init__(
+        self,
+        bands: int = 3,
+        filter: Optional[FlowFilter] = None,
+        limit_per_band: int = 100_000,
+    ) -> None:
+        if bands < 1:
+            raise QdiscError(f"prio requires >= 1 band, got {bands}")
+        self.bands = bands
+        self.filter = filter
+        self._queues = [PFifo(limit_per_band) for _ in range(bands)]
+        self.drops = 0
+
+    def _band_of(self, seg: Segment) -> int:
+        if self.filter is None:
+            return self.bands - 1
+        band = self.filter.classify(seg)
+        if band is None:
+            return self.bands - 1
+        if not 0 <= band < self.bands:
+            raise QdiscError(f"filter returned band {band}, have {self.bands} bands")
+        return band
+
+    def enqueue(self, seg: Segment, now: float) -> bool:
+        ok = self._queues[self._band_of(seg)].enqueue(seg, now)
+        if not ok:
+            self._note_drop()
+        return ok
+
+    def dequeue(self, now: float) -> Optional[Segment]:
+        for q in self._queues:
+            seg = q.dequeue(now)
+            if seg is not None:
+                return seg
+        return None
+
+    def band_backlog(self, band: int) -> int:
+        return len(self._queues[band])
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues)
+
+    @property
+    def backlog_bytes(self) -> int:
+        return sum(q.backlog_bytes for q in self._queues)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        per = ",".join(str(len(q)) for q in self._queues)
+        return f"PrioQdisc(bands=[{per}])"

@@ -1,0 +1,93 @@
+"""``sfq`` — stochastic fairness queueing.
+
+Flows are hashed into a fixed number of buckets; buckets are served round
+robin, one segment each.  Unlike DRR, SFQ is byte-oblivious (classic Linux
+behaviour) and flows that collide in a bucket share its service — the
+"stochastic" compromise that keeps state constant.
+
+Like DRR, SFQ is a fairness baseline for the A4 ablation family; the
+paper's argument is that *fairness* between flows does not fix the
+all-or-nothing fan-out straggler problem.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+import zlib
+
+from repro.errors import QdiscError
+from repro.net.packet import Segment
+from repro.net.qdisc.base import Qdisc
+
+
+class SFQQdisc(Qdisc):
+    """Stochastic fairness queueing over ``divisor`` hash buckets."""
+
+    work_conserving = True
+
+    def __init__(
+        self,
+        divisor: int = 128,
+        limit: int = 1_000_000,
+        perturb_salt: int = 0,
+    ) -> None:
+        if divisor < 1:
+            raise QdiscError(f"sfq divisor must be >= 1, got {divisor}")
+        self.divisor = divisor
+        self.limit = limit
+        self.perturb_salt = perturb_salt
+        self._buckets: List[Deque[Segment]] = [deque() for _ in range(divisor)]
+        self._active: Deque[int] = deque()  # round-robin order of non-empty buckets
+        self._in_active = [False] * divisor
+        self._len = 0
+        self._bytes = 0
+        self.drops = 0
+
+    def _hash(self, seg: Segment) -> int:
+        flow = seg.flow
+        key = f"{self.perturb_salt}|{flow.src_host}:{flow.src_port}>" \
+              f"{flow.dst_host}:{flow.dst_port}"
+        return zlib.crc32(key.encode()) % self.divisor
+
+    def enqueue(self, seg: Segment, now: float) -> bool:
+        if self._len >= self.limit:
+            self._note_drop()
+            return False
+        idx = self._hash(seg)
+        self._buckets[idx].append(seg)
+        if not self._in_active[idx]:
+            self._active.append(idx)
+            self._in_active[idx] = True
+        self._len += 1
+        self._bytes += seg.size
+        return True
+
+    def dequeue(self, now: float) -> Optional[Segment]:
+        while self._active:
+            idx = self._active.popleft()
+            bucket = self._buckets[idx]
+            if not bucket:
+                self._in_active[idx] = False
+                continue
+            seg = bucket.popleft()
+            self._len -= 1
+            self._bytes -= seg.size
+            if bucket:
+                self._active.append(idx)  # one segment per turn
+            else:
+                self._in_active[idx] = False
+            return seg
+        return None
+
+    @property
+    def n_active_buckets(self) -> int:
+        return sum(1 for b in self._buckets if b)
+
+    def __len__(self) -> int:
+        return self._len
+
+    @property
+    def backlog_bytes(self) -> int:
+        return self._bytes

@@ -1,0 +1,148 @@
+"""An output-queued Ethernet switch.
+
+Each attached host gets an egress port with a FIFO queue draining at the
+port's link rate.  The switch is deliberately *not* priority-aware: the
+paper's whole point is that end-host scheduling alone suffices, so the
+fabric stays vanilla.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, TYPE_CHECKING
+
+from repro.errors import NetworkError
+from repro.net.link import Link
+from repro.net.packet import Segment
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class OutputPort:
+    """One egress port: FIFO queue + serializer at link rate.
+
+    ``buffer_bytes`` bounds the queued payload (None = infinite).  A full
+    buffer tail-drops — the incast behaviour of a shallow-buffered
+    Ethernet switch, which matters for the PS's gradient fan-in and the
+    workers' model-update fan-in.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        host_id: str,
+        link: Link,
+        deliver: Callable[[Segment], None],
+        buffer_bytes: Optional[float] = None,
+        on_drop: Optional[Callable[[Segment], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.host_id = host_id
+        self.link = link
+        self.deliver = deliver
+        self.buffer_bytes = buffer_bytes
+        self.on_drop = on_drop
+        self._queue: Deque[Segment] = deque()
+        self._queued_bytes = 0
+        self._busy = False
+        self.bytes_tx = 0
+        self.busy_time = 0.0
+        self._busy_since = 0.0
+        self.max_backlog = 0
+        self.drops = 0
+
+    def enqueue(self, seg: Segment) -> None:
+        if (
+            self.buffer_bytes is not None
+            and self._queued_bytes + seg.size > self.buffer_bytes
+        ):
+            self.drops += 1
+            self.sim.trace.record(
+                "switch_drop", port=self.host_id, flow=str(seg.flow),
+                seg=seg.index, msg=seg.message.msg_id,
+            )
+            if self.on_drop is not None:
+                self.on_drop(seg)
+            return
+        self._queue.append(seg)
+        self._queued_bytes += seg.size
+        if len(self._queue) > self.max_backlog:
+            self.max_backlog = len(self._queue)
+        self._kick()
+
+    def _kick(self) -> None:
+        if self._busy or not self._queue:
+            return
+        seg = self._queue.popleft()
+        self._queued_bytes -= seg.size
+        self._busy = True
+        self._busy_since = self.sim.now
+        self.sim.schedule(self.link.tx_time(seg.size), self._tx_done, (seg,))
+
+    def _tx_done(self, seg: Segment) -> None:
+        self._busy = False
+        self.busy_time += self.sim.now - self._busy_since
+        self.bytes_tx += seg.size
+        self.sim.schedule(self.link.latency, self.deliver, (seg,))
+        self._kick()
+
+    @property
+    def backlog(self) -> int:
+        return len(self._queue)
+
+
+class Switch:
+    """Routes segments to the egress port of their destination host."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str = "sw0",
+        buffer_bytes: Optional[float] = None,
+        on_drop: Optional[Callable[[Segment], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.buffer_bytes = buffer_bytes
+        self.on_drop = on_drop
+        self._ports: Dict[str, OutputPort] = {}
+        self.segments_forwarded = 0
+
+    def attach(
+        self,
+        host_id: str,
+        link: Link,
+        deliver: Callable[[Segment], None],
+    ) -> OutputPort:
+        """Create the egress port toward ``host_id``."""
+        if host_id in self._ports:
+            raise NetworkError(f"host {host_id} already attached to {self.name}")
+        port = OutputPort(
+            self.sim, host_id, link, deliver,
+            buffer_bytes=self.buffer_bytes,
+            on_drop=lambda seg: self.on_drop(seg) if self.on_drop else None,
+        )
+        self._ports[host_id] = port
+        return port
+
+    @property
+    def total_drops(self) -> int:
+        return sum(p.drops for p in self._ports.values())
+
+    def ingress(self, seg: Segment) -> None:
+        """A segment arrived from some host; forward it."""
+        port = self._ports.get(seg.flow.dst_host)
+        if port is None:
+            raise NetworkError(
+                f"switch {self.name}: no port for destination {seg.flow.dst_host!r}"
+            )
+        self.segments_forwarded += 1
+        port.enqueue(seg)
+
+    def port(self, host_id: str) -> Optional[OutputPort]:
+        return self._ports.get(host_id)
+
+    @property
+    def n_ports(self) -> int:
+        return len(self._ports)

@@ -1,0 +1,86 @@
+"""Star topology builder: N hosts, one switch, uniform links.
+
+Mirrors the paper's testbed: "21 hosts connected to one Ethernet switch.
+All links are 10 Gbps."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, TYPE_CHECKING
+
+from repro.errors import NetworkError
+from repro.net.link import Link
+from repro.net.nic import NIC
+from repro.net.switch import Switch
+from repro.net.transport import (
+    DEFAULT_SEGMENT_BYTES,
+    DEFAULT_WINDOW_SEGMENTS,
+    Transport,
+)
+from repro.units import gbps
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class StarNetwork:
+    """Hosts × (NIC + Transport) wired through one switch."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        host_ids: Iterable[str],
+        link: Optional[Link] = None,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        window_segments: int = DEFAULT_WINDOW_SEGMENTS,
+        window_jitter: float = 0.0,
+        switch_buffer_bytes: float | None = None,
+        rto: float = 0.2,
+    ) -> None:
+        self.sim = sim
+        self.link = link if link is not None else Link(rate=gbps(10))
+        self.switch = Switch(
+            sim,
+            buffer_bytes=switch_buffer_bytes,
+            on_drop=self._notify_sender_of_drop,
+        )
+        self.nics: Dict[str, NIC] = {}
+        self.transports: Dict[str, Transport] = {}
+
+        for host_id in host_ids:
+            if host_id in self.nics:
+                raise NetworkError(f"duplicate host id {host_id!r}")
+            nic = NIC(sim, host_id, rate=self.link.rate)
+            nic.attach_link(self.switch.ingress, self.link.latency)
+            self.switch.attach(host_id, self.link, nic.receive)
+            transport = Transport(
+                sim, nic, segment_bytes=segment_bytes,
+                window_segments=window_segments, window_jitter=window_jitter,
+                rto=rto,
+            )
+            self.nics[host_id] = nic
+            self.transports[host_id] = transport
+
+    def _notify_sender_of_drop(self, seg) -> None:
+        """Route a switch drop back to the sending host's transport (the
+        RTO signal a real TCP sender would eventually infer)."""
+        self.transports[seg.flow.src_host].on_segment_lost(seg)
+
+    def nic(self, host_id: str) -> NIC:
+        try:
+            return self.nics[host_id]
+        except KeyError:
+            raise NetworkError(f"unknown host {host_id!r}") from None
+
+    def transport(self, host_id: str) -> Transport:
+        try:
+            return self.transports[host_id]
+        except KeyError:
+            raise NetworkError(f"unknown host {host_id!r}") from None
+
+    @property
+    def host_ids(self) -> list[str]:
+        return list(self.nics)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<StarNetwork hosts={len(self.nics)} rate={self.link.rate:.0f}B/s>"

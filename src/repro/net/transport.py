@@ -1,0 +1,257 @@
+"""Windowed message transport (the TCP stand-in).
+
+Each flow keeps at most ``window_segments`` segments inside the NIC
+(queued or serializing); every completed serialization refills the window.
+This reproduces the ACK-clocked interleaving of concurrent TCP flows in a
+FIFO qdisc — the mechanism behind the paper's straggler effect — without
+simulating acknowledgements (the bottleneck under study is the sender NIC,
+and RTTs on a single-switch 10 Gbps fabric are tens of microseconds).
+
+Receivers register a callback per local port; a message is delivered when
+all of its bytes have arrived.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, TYPE_CHECKING
+
+from repro.errors import NetworkError
+from repro.net.addressing import FlowKey
+from repro.net.nic import NIC
+from repro.net.packet import Message, Segment, segment_message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+DEFAULT_SEGMENT_BYTES = 128 * 1024
+DEFAULT_WINDOW_SEGMENTS = 8
+
+
+class _SendState:
+    """Per-flow sender state: pending segments, in-flight count, cwnd.
+
+    ``window`` is the current congestion window (AIMD under losses);
+    ``base_window`` is the flow's drawn maximum.
+    """
+
+    __slots__ = ("pending", "in_flight", "window", "base_window", "ssthresh")
+
+    def __init__(self, window: int, slow_start: bool = False) -> None:
+        self.pending: Deque[Segment] = deque()
+        self.in_flight = 0
+        self.base_window = window
+        if slow_start:
+            self.window = 1.0
+            self.ssthresh = float(window)
+        else:
+            self.window = float(window)
+            self.ssthresh = 0.0  # already at/above threshold
+
+    def on_loss(self) -> None:
+        """Multiplicative decrease (and exit slow start)."""
+        self.window = max(1.0, self.window / 2.0)
+        self.ssthresh = self.window
+
+    def on_progress(self) -> None:
+        """Window growth per served segment.
+
+        Below ``ssthresh``: slow start (+1 per segment, i.e. doubling per
+        window).  Above: congestion avoidance (+1 per window's worth).
+        Capped at the flow's drawn maximum.
+        """
+        if self.window >= self.base_window:
+            return
+        if self.window < self.ssthresh:
+            self.window = min(self.base_window, self.window + 1.0)
+        else:
+            self.window = min(self.base_window, self.window + 1.0 / self.window)
+
+
+class _RecvState:
+    """Per-message receiver state."""
+
+    __slots__ = ("received", "message")
+
+    def __init__(self, message: Message) -> None:
+        self.received = 0
+        self.message = message
+
+
+class Transport:
+    """Per-host transport endpoint bound to the host NIC."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        nic: NIC,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        window_segments: int = DEFAULT_WINDOW_SEGMENTS,
+        window_jitter: float = 0.0,
+        rto: float = 0.2,
+        slow_start: bool = False,
+    ) -> None:
+        """``window_jitter`` models TCP's unequal bandwidth shares.
+
+        Each new flow draws its window uniformly from
+        ``window_segments * [1 - jitter, 1 + jitter]``.  Under a FIFO
+        qdisc a flow's share of a congested NIC is proportional to its
+        window, so jitter > 0 spreads the completion times of concurrent
+        equal-size transfers — the tail-straggler effect of paper §IV-A.
+        Zero keeps the transport deterministic (unit tests).
+        """
+        if window_segments < 1:
+            raise NetworkError(f"window must be >= 1 segment, got {window_segments}")
+        if not 0.0 <= window_jitter < 1.0:
+            raise NetworkError(f"window_jitter must be in [0, 1), got {window_jitter}")
+        self.sim = sim
+        self.nic = nic
+        self.segment_bytes = segment_bytes
+        self.window_segments = window_segments
+        self.window_jitter = window_jitter
+        self.rto = rto
+        self.slow_start = slow_start
+        self._send_states: Dict[FlowKey, _SendState] = {}
+        self._recv_states: Dict[int, _RecvState] = {}
+        self._listeners: Dict[int, Callable[[Message], None]] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.segments_lost = 0
+        self.segments_retransmitted = 0
+
+        nic.on_segment_sent = self._on_segment_serialized
+        nic.on_receive = self._on_segment_arrival
+        nic.on_segment_dropped = self._on_local_drop
+
+    # -- sending ----------------------------------------------------------
+
+    def send_message(self, message: Message) -> None:
+        """Queue a message for transmission on its flow."""
+        if message.flow.src_host != self.nic.host_id:
+            raise NetworkError(
+                f"message flow {message.flow} does not originate at "
+                f"{self.nic.host_id}"
+            )
+        message.created_at = self.sim.now
+        self.messages_sent += 1
+        state = self._send_states.get(message.flow)
+        if state is None:
+            state = _SendState(self._draw_window(), slow_start=self.slow_start)
+            self._send_states[message.flow] = state
+        state.pending.extend(segment_message(message, self.segment_bytes))
+        self.sim.trace.record(
+            "msg_send", flow=str(message.flow), msg=message.msg_id,
+            size=message.size, msg_kind=message.kind, **message.meta,
+        )
+        self._refill(message.flow, state)
+
+    def _draw_window(self) -> int:
+        if self.window_jitter == 0.0:
+            return self.window_segments
+        factor = self.sim.rng.uniform(
+            f"tcp-window/{self.nic.host_id}",
+            1.0 - self.window_jitter,
+            1.0 + self.window_jitter,
+        )
+        return max(1, round(self.window_segments * factor))
+
+    def _refill(self, flow: FlowKey, state: _SendState) -> None:
+        while state.in_flight < int(state.window) and state.pending:
+            seg = state.pending.popleft()
+            state.in_flight += 1
+            self.nic.send(seg)
+        if state.in_flight == 0 and not state.pending:
+            del self._send_states[flow]
+
+    def _on_segment_serialized(self, seg: Segment) -> None:
+        state = self._send_states.get(seg.flow)
+        if state is None:
+            return  # flow already drained (last segment)
+        state.in_flight -= 1
+        state.on_progress()
+        self._refill(seg.flow, state)
+
+    # -- loss recovery -----------------------------------------------------
+
+    def on_segment_lost(self, seg: Segment) -> None:
+        """A switch port dropped this flow's segment (incast overflow).
+
+        Models a TCP retransmission timeout: the segment is re-queued
+        after ``rto`` seconds and the flow's congestion window halves.
+        """
+        self.segments_lost += 1
+        state = self._send_states.get(seg.flow)
+        if state is not None:
+            state.on_loss()
+        self.sim.schedule(self.rto, self._retransmit, (seg,))
+
+    def _on_local_drop(self, seg: Segment) -> None:
+        """The local egress qdisc AQM-dropped an accepted segment.
+
+        Unlike a switch drop (where the segment had already left the NIC),
+        a local drop still holds a window slot — release it, then treat
+        the loss like any other (halve the window, retransmit after RTO).
+        """
+        state = self._send_states.get(seg.flow)
+        if state is not None and state.in_flight > 0:
+            state.in_flight -= 1
+        self.on_segment_lost(seg)
+
+    def _retransmit(self, seg: Segment) -> None:
+        self.segments_retransmitted += 1
+        state = self._send_states.get(seg.flow)
+        if state is None:
+            # Flow drained at the sender meanwhile: resurrect it (with a
+            # conservative window) to carry the retransmission.
+            state = _SendState(self._draw_window(), slow_start=self.slow_start)
+            state.on_loss()
+            self._send_states[seg.flow] = state
+        state.pending.appendleft(seg)  # retransmissions go first
+        self._refill(seg.flow, state)
+
+    # -- receiving ------------------------------------------------------------
+
+    def listen(self, port: int, callback: Callable[[Message], None]) -> None:
+        """Deliver fully-reassembled messages addressed to ``port``."""
+        if port in self._listeners:
+            raise NetworkError(f"port {port} already has a listener on {self.nic.host_id}")
+        self._listeners[port] = callback
+
+    def unlisten(self, port: int) -> None:
+        self._listeners.pop(port, None)
+
+    def _on_segment_arrival(self, seg: Segment) -> None:
+        msg = seg.message
+        state = self._recv_states.get(msg.msg_id)
+        if state is None:
+            state = _RecvState(msg)
+            self._recv_states[msg.msg_id] = state
+        state.received += seg.size
+        if state.received < msg.size:
+            return
+        del self._recv_states[msg.msg_id]
+        msg.delivered_at = self.sim.now
+        self.messages_delivered += 1
+        self.sim.trace.record(
+            "msg_recv", flow=str(msg.flow), msg=msg.msg_id,
+            size=msg.size, msg_kind=msg.kind, **msg.meta,
+        )
+        listener = self._listeners.get(msg.flow.dst_port)
+        if listener is None:
+            raise NetworkError(
+                f"no listener on {self.nic.host_id}:{msg.flow.dst_port} "
+                f"for {msg.kind} message"
+            )
+        listener(msg)
+
+    # -- monitoring ---------------------------------------------------------
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._send_states)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Transport {self.nic.host_id} flows={len(self._send_states)} "
+            f"sent={self.messages_sent} delivered={self.messages_delivered}>"
+        )

@@ -1,0 +1,43 @@
+"""Discrete-event simulation kernel.
+
+A small, fast simpy-flavoured kernel: an event heap, a clock, and
+generator-based processes that ``yield`` *waitables* (timeouts, mailbox
+gets, barrier waits, resource requests).
+
+Public surface::
+
+    from repro.sim import Simulator, Timeout, Mailbox, Barrier, Resource, Signal
+
+    sim = Simulator(seed=1)
+
+    def proc(sim):
+        yield Timeout(1.0)
+        ...
+
+    sim.spawn(proc(sim), name="demo")
+    sim.run()
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process, Timeout, Waitable
+from repro.sim.primitives import AllOf, Barrier, Mailbox, Resource, Signal
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "Barrier",
+    "Event",
+    "EventQueue",
+    "Mailbox",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "Signal",
+    "Simulator",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+    "Waitable",
+]

@@ -1,0 +1,128 @@
+"""Event heap for the simulation kernel.
+
+Events are ordered by ``(time, priority, seq)``.  ``seq`` is a global
+monotone counter so that events scheduled earlier run earlier among ties —
+this makes every simulation fully deterministic for a given call sequence.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+#: Default event priority.  Lower runs first among same-time events.
+PRIORITY_NORMAL = 0
+#: Used by the kernel for bookkeeping that must run before normal events.
+PRIORITY_HIGH = -10
+#: Used for "end of tick" accounting (e.g. telemetry samplers).
+PRIORITY_LOW = 10
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are created through :meth:`EventQueue.push` /
+    :meth:`Simulator.schedule`; user code normally only keeps a reference
+    in order to :meth:`cancel` it.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple = (),
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn: Optional[Callable[..., Any]] = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so it is skipped when popped.
+
+        Cancellation is O(1); the heap entry is lazily discarded.
+        """
+        self.cancelled = True
+        self.fn = None  # drop references early
+        self.args = ()
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.6f} prio={self.priority} seq={self.seq} {state}>"
+
+
+class EventQueue:
+    """A binary-heap priority queue of :class:`Event` objects."""
+
+    __slots__ = ("_heap", "_counter", "_live")
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if time != time:  # NaN guard
+            raise SimulationError("event time is NaN")
+        ev = Event(time, priority, next(self._counter), fn, args)
+        heapq.heappush(self._heap, ev)
+        self._live += 1
+        return ev
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises :class:`SimulationError` when empty.
+        """
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self._live -= 1
+            return ev
+        raise SimulationError("pop from empty event queue")
+
+    def cancel(self, ev: Event) -> None:
+        """Cancel a pending event (idempotent)."""
+        if not ev.cancelled:
+            ev.cancel()
+            self._live -= 1
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` when empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._live = 0

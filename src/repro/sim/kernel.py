@@ -1,0 +1,139 @@
+"""The simulation kernel: clock, event loop, process spawning."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import PRIORITY_NORMAL, Event, EventQueue
+from repro.sim.process import Process, ProcessGen
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import Tracer
+
+
+class Simulator:
+    """A discrete-event simulator.
+
+    The simulator owns:
+
+    * the virtual clock (:attr:`now`, seconds),
+    * the event queue,
+    * the process table,
+    * deterministic random streams (:attr:`rng`),
+    * an optional :class:`~repro.sim.trace.Tracer`.
+
+    Typical usage::
+
+        sim = Simulator(seed=42)
+        sim.spawn(my_process(sim), name="worker-0")
+        sim.run(until=100.0)
+    """
+
+    def __init__(self, seed: int = 0, trace: bool = False) -> None:
+        self.now: float = 0.0
+        self.events = EventQueue()
+        self.rng = RandomStreams(seed)
+        self.trace = Tracer(enabled=trace)
+        self.trace.bind_clock(lambda: self.now)
+        self.processes: list[Process] = []
+        self._running = False
+        self._steps = 0
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        return self.events.push(self.now + delay, fn, args, priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Run ``fn(*args)`` at absolute simulated ``time`` (>= now)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past (time={time!r} < now={self.now!r})"
+            )
+        return self.events.push(time, fn, args, priority)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event (idempotent)."""
+        self.events.cancel(event)
+
+    # -- processes ----------------------------------------------------------
+
+    def spawn(self, gen: ProcessGen, name: str = "proc") -> Process:
+        """Create a process from a generator; it starts at the current time."""
+        proc = Process(self, gen, name)
+        self.processes.append(proc)
+        # Start via the queue so that spawns made while the loop is running
+        # keep globally deterministic ordering.
+        self.schedule(0.0, proc._start)
+        return proc
+
+    def spawn_all(self, gens: Iterable[tuple[ProcessGen, str]]) -> list[Process]:
+        """Spawn many ``(generator, name)`` pairs."""
+        return [self.spawn(g, n) for g, n in gens]
+
+    # -- the loop ------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute one event.  Returns False when the queue is empty."""
+        if not self.events:
+            return False
+        ev = self.events.pop()
+        if ev.time < self.now:
+            raise SimulationError("event queue went backwards in time")
+        self.now = ev.time
+        fn, args = ev.fn, ev.args
+        assert fn is not None
+        self._steps += 1
+        fn(*args)
+        return True
+
+    def run(self, until: Optional[float] = None, max_steps: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or ``max_steps``.
+
+        Returns the final clock value.  When stopping at ``until`` the clock
+        is advanced to exactly ``until`` (pending events stay queued).
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        try:
+            steps = 0
+            while self.events:
+                nxt = self.events.peek_time()
+                if until is not None and nxt is not None and nxt > until:
+                    self.now = until
+                    return self.now
+                self.step()
+                steps += 1
+                if max_steps is not None and steps >= max_steps:
+                    raise SimulationError(
+                        f"simulation exceeded max_steps={max_steps} (livelock?)"
+                    )
+            if until is not None and until > self.now:
+                self.now = until
+            return self.now
+        finally:
+            self._running = False
+
+    @property
+    def steps_executed(self) -> int:
+        """Number of events executed so far (monitoring/profiling aid)."""
+        return self._steps
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Simulator now={self.now:.6f} pending={len(self.events)}>"

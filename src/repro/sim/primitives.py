@@ -1,0 +1,242 @@
+"""Synchronization primitives for simulated processes.
+
+All primitives hand out :class:`~repro.sim.process.Waitable` tokens from
+their blocking operations, so they compose with the generator-process
+protocol::
+
+    msg = yield mailbox.get()
+    yield barrier.wait()
+    grant = yield resource.request()
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional, TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.sim.process import Process, Waitable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class _Suspend(Waitable):
+    """A one-shot waitable completed by its owner primitive.
+
+    The primitive calls :meth:`complete` (at most once); if the process has
+    not yet yielded on the token, the value is stashed and delivered upon
+    registration.
+    """
+
+    __slots__ = ("_sim", "_proc", "_done", "_value", "_has_value")
+
+    def __init__(self) -> None:
+        self._sim: Optional["Simulator"] = None
+        self._proc: Optional[Process] = None
+        self._done = False
+        self._has_value = False
+        self._value: Any = None
+
+    def _register(self, sim: "Simulator", proc: Process) -> None:
+        if self._proc is not None:
+            raise SimulationError("a suspension token can only be awaited once")
+        self._sim = sim
+        self._proc = proc
+        if self._has_value:
+            # Completed before the process yielded on it: resume next tick.
+            sim.schedule(0.0, proc._resume, (self._value,))
+
+    def complete(self, sim: "Simulator", value: Any = None) -> None:
+        if self._done:
+            raise SimulationError("suspension token completed twice")
+        self._done = True
+        if self._proc is not None:
+            sim.schedule(0.0, self._proc._resume, (value,))
+        else:
+            self._has_value = True
+            self._value = value
+
+
+class Signal(Waitable):
+    """A one-shot broadcast event.
+
+    Any number of processes may ``yield signal`` (the Signal itself is the
+    waitable); :meth:`fire` wakes them all with the same value.  Processes
+    that wait after the signal has fired resume immediately.
+    """
+
+    __slots__ = ("_fired", "_value", "_waiters")
+
+    def __init__(self) -> None:
+        self._fired = False
+        self._value: Any = None
+        self._waiters: List[tuple["Simulator", Process]] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def _register(self, sim: "Simulator", proc: Process) -> None:
+        if self._fired:
+            sim.schedule(0.0, proc._resume, (self._value,))
+        else:
+            self._waiters.append((sim, proc))
+
+    def fire(self, value: Any = None) -> None:
+        """Wake all current and future waiters.  Idempotent-hostile: firing
+        twice is an error, as it almost always hides a logic bug."""
+        if self._fired:
+            raise SimulationError("Signal fired twice")
+        self._fired = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for sim, proc in waiters:
+            sim.schedule(0.0, proc._resume, (value,))
+
+
+class Mailbox:
+    """An unbounded FIFO channel between processes.
+
+    ``put`` never blocks; ``get`` returns a waitable that yields the oldest
+    message.  Multiple concurrent getters are served in FIFO order.
+    """
+
+    __slots__ = ("sim", "name", "_items", "_getters")
+
+    def __init__(self, sim: "Simulator", name: str = "mailbox") -> None:
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[_Suspend] = deque()
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            tok = self._getters.popleft()
+            tok.complete(self.sim, item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Waitable:
+        tok = _Suspend()
+        if self._items:
+            tok.complete(self.sim, self._items.popleft())
+        else:
+            self._getters.append(tok)
+        return tok
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            return True, self._items.popleft()
+        return False, None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class Barrier:
+    """A reusable cyclic barrier for ``parties`` processes.
+
+    Each ``yield barrier.wait()`` blocks until ``parties`` processes have
+    arrived; then all are released and the barrier resets for the next
+    cycle.  The value delivered is the (0-based) cycle index.
+    """
+
+    __slots__ = ("sim", "parties", "_waiting", "cycles")
+
+    def __init__(self, sim: "Simulator", parties: int) -> None:
+        if parties < 1:
+            raise SimulationError(f"barrier parties must be >= 1, got {parties}")
+        self.sim = sim
+        self.parties = parties
+        self._waiting: List[_Suspend] = []
+        self.cycles = 0
+
+    def wait(self) -> Waitable:
+        tok = _Suspend()
+        self._waiting.append(tok)
+        if len(self._waiting) >= self.parties:
+            cycle = self.cycles
+            self.cycles += 1
+            waiting, self._waiting = self._waiting, []
+            for t in waiting:
+                t.complete(self.sim, cycle)
+        return tok
+
+    @property
+    def n_waiting(self) -> int:
+        return len(self._waiting)
+
+
+class Resource:
+    """A counted resource with FIFO grant order (like simpy.Resource).
+
+    ``yield resource.request()`` blocks until a unit is available; the
+    holder must call :meth:`release` exactly once.
+    """
+
+    __slots__ = ("sim", "capacity", "in_use", "_queue")
+
+    def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._queue: Deque[_Suspend] = deque()
+
+    def request(self) -> Waitable:
+        tok = _Suspend()
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            tok.complete(self.sim)
+        else:
+            self._queue.append(tok)
+        return tok
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise SimulationError("release of an idle resource")
+        if self._queue:
+            tok = self._queue.popleft()
+            tok.complete(self.sim)  # hand the unit directly to the next waiter
+        else:
+            self.in_use -= 1
+
+    @property
+    def n_queued(self) -> int:
+        return len(self._queue)
+
+
+class AllOf(Waitable):
+    """Wait until all given :class:`Signal` objects have fired.
+
+    Delivers a list of their values in the order supplied.
+    """
+
+    __slots__ = ("signals",)
+
+    def __init__(self, signals: List[Signal]) -> None:
+        self.signals = list(signals)
+
+    def _register(self, sim: "Simulator", proc: Process) -> None:
+        pending = [s for s in self.signals if not s.fired]
+        if not pending:
+            sim.schedule(0.0, proc._resume, ([s.value for s in self.signals],))
+            return
+
+        remaining = {"n": len(pending)}
+
+        def watcher(signal: Signal):
+            yield signal
+            remaining["n"] -= 1
+            if remaining["n"] == 0:
+                proc._resume([s.value for s in self.signals])
+
+        for s in pending:
+            sim.spawn(watcher(s), name="allof-watcher")

@@ -1,0 +1,56 @@
+"""Lightweight simulation tracing.
+
+Components call ``sim.trace.record(kind, **fields)``; when tracing is
+disabled (the default) this is a cheap no-op.  Traces power the Figure 4
+schedule illustration and several tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry: a timestamped, typed set of fields."""
+
+    time: float
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self.fields[name]
+        except KeyError as exc:  # pragma: no cover - attribute protocol
+            raise AttributeError(name) from exc
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries, optionally filtered by kind."""
+
+    def __init__(self, enabled: bool = False, kinds: Optional[set[str]] = None) -> None:
+        self.enabled = enabled
+        self.kinds = kinds  # None = all kinds
+        self.records: List[TraceRecord] = []
+        self._now: Callable[[], float] = lambda: 0.0
+
+    def bind_clock(self, now_fn: Callable[[], float]) -> None:
+        """Attach the simulator clock (done lazily to avoid a cycle)."""
+        self._now = now_fn
+
+    def record(self, kind: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        self.records.append(TraceRecord(self._now(), kind, fields))
+
+    def of_kind(self, kind: str) -> Iterator[TraceRecord]:
+        return (r for r in self.records if r.kind == kind)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)

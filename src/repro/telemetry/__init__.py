@@ -1,0 +1,14 @@
+"""Host telemetry: vmstat-style CPU and ifstat-style NIC sampling.
+
+The paper measures "userspace CPU utilization with vmstat, and the network
+interface utilization with ifstat" per host, then averages over a fixed
+*active window* when all jobs are running (§V, Result #3).  This package
+reproduces that measurement pipeline inside the simulation.
+"""
+
+from repro.telemetry.queues import QueueDepthSampler
+from repro.telemetry.sampler import HostSampler, SampleSeries
+from repro.telemetry.window import ActiveWindow, window_mean
+
+__all__ = ["ActiveWindow", "HostSampler", "QueueDepthSampler",
+           "SampleSeries", "window_mean"]

@@ -1,0 +1,79 @@
+"""Queue-depth telemetry: NIC backlog time series.
+
+The contention story is visible directly in the PS host's egress backlog:
+under FIFO a colocated host's queue holds every job's burst at once; under
+TensorLights the high bands drain first and the backlog is dominated by
+the yielding jobs.  This sampler records backlog depth (segments and
+bytes) per host for that analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.sim.process import Timeout
+from repro.telemetry.sampler import SampleSeries
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.host import Host
+
+
+class QueueDepthSampler:
+    """Samples a host NIC's egress backlog every ``interval`` seconds."""
+
+    def __init__(self, host: "Host", interval: float = 0.1) -> None:
+        if interval <= 0:
+            raise ConfigError(f"sampling interval must be positive, got {interval}")
+        if host.nic is None:
+            raise ConfigError(f"host {host.host_id} has no NIC to sample")
+        self.host = host
+        self.interval = interval
+        self.depth = SampleSeries()    # segments queued
+        self.backlog = SampleSeries()  # bytes queued
+        self._running = False
+
+    def start(self) -> None:
+        """Begin sampling (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self.host.sim.spawn(self._loop(), name=f"qdepth/{self.host.host_id}")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _loop(self):
+        sim = self.host.sim
+        while self._running:
+            yield Timeout(self.interval)
+            if not self._running:
+                return
+            nic = self.host.nic
+            self.depth.add(sim.now, float(len(nic.qdisc)))
+            self.backlog.add(sim.now, float(nic.qdisc.backlog_bytes))
+
+    # -- analysis ------------------------------------------------------------
+
+    def peak_backlog(self) -> float:
+        """Largest observed queued-bytes sample."""
+        _, values = self.backlog.as_arrays()
+        if values.size == 0:
+            raise ConfigError("no samples collected")
+        return float(values.max())
+
+    def mean_depth(self) -> float:
+        """Average queued-segment count over all samples."""
+        _, values = self.depth.as_arrays()
+        if values.size == 0:
+            raise ConfigError("no samples collected")
+        return float(values.mean())
+
+    def busy_fraction(self, threshold_bytes: float = 0.0) -> float:
+        """Fraction of samples with backlog strictly above ``threshold``."""
+        _, values = self.backlog.as_arrays()
+        if values.size == 0:
+            raise ConfigError("no samples collected")
+        return float((values > threshold_bytes).mean())

@@ -1,0 +1,99 @@
+"""Periodic host samplers (vmstat / ifstat equivalents)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.sim.events import PRIORITY_LOW
+from repro.sim.process import Timeout
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.host import Host
+    from repro.sim.kernel import Simulator
+
+
+@dataclass
+class SampleSeries:
+    """A sampled time series: per-interval values at 1/interval Hz."""
+
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def add(self, t: float, v: float) -> None:
+        self.times.append(t)
+        self.values.append(v)
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return np.asarray(self.times), np.asarray(self.values)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+class HostSampler:
+    """Samples one host every ``interval`` seconds.
+
+    Per interval it records (as utilization fractions in [0, 1]):
+
+    * ``cpu``  — busy core-time / (cores x interval)    (vmstat ``us``),
+    * ``net_in``  — received bytes / (link rate x interval)  (ifstat in),
+    * ``net_out`` — transmitted bytes / (link rate x interval) (ifstat out).
+
+    Samples are stamped with the interval's *end* time, matching how the
+    real tools report the just-elapsed second.
+    """
+
+    def __init__(self, host: "Host", interval: float = 1.0) -> None:
+        if interval <= 0:
+            raise ConfigError(f"sampling interval must be positive, got {interval}")
+        if host.nic is None:
+            raise ConfigError(f"host {host.host_id} has no NIC to sample")
+        self.host = host
+        self.interval = interval
+        self.cpu = SampleSeries()
+        self.net_in = SampleSeries()
+        self.net_out = SampleSeries()
+        self._prev_busy = 0.0
+        self._prev_rx = 0
+        self._prev_tx = 0
+        self._running = False
+
+    def start(self) -> None:
+        """Begin sampling (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self.host.sim.spawn(self._loop(), name=f"sampler/{self.host.host_id}")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _loop(self):
+        sim = self.host.sim
+        # Anchor the first interval at the current time.
+        self._snapshot_counters()
+        while self._running:
+            yield Timeout(self.interval)
+            if not self._running:
+                return
+            self._record(sim.now)
+
+    def _snapshot_counters(self) -> None:
+        self._prev_busy = self.host.cpu.utilization_snapshot()
+        self._prev_rx = self.host.nic.bytes_rx
+        self._prev_tx = self.host.nic.bytes_tx
+
+    def _record(self, now: float) -> None:
+        busy = self.host.cpu.utilization_snapshot()
+        rx = self.host.nic.bytes_rx
+        tx = self.host.nic.bytes_tx
+        cores = self.host.cpu.cores
+        rate = self.host.nic.rate
+        self.cpu.add(now, (busy - self._prev_busy) / (cores * self.interval))
+        self.net_in.add(now, (rx - self._prev_rx) / (rate * self.interval))
+        self.net_out.add(now, (tx - self._prev_tx) / (rate * self.interval))
+        self._prev_busy, self._prev_rx, self._prev_tx = busy, rx, tx

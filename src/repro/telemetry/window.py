@@ -1,0 +1,54 @@
+"""Active-window aggregation.
+
+The paper: "we define an active window as a time period of fixed length
+when all concurrent jobs are active.  In our study, the active window is
+between the 100th and the 1250th second after the launch of concurrent
+jobs" (§V, Result #3).  Utilization is averaged over that window and then
+normalized over the FIFO run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.telemetry.sampler import SampleSeries
+
+
+@dataclass(frozen=True)
+class ActiveWindow:
+    """A [start, end) time window in simulated seconds."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ConfigError(f"empty window [{self.start}, {self.end})")
+
+    @property
+    def length(self) -> float:
+        return self.end - self.start
+
+    def contains(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+
+def window_mean(series: SampleSeries, window: ActiveWindow) -> float:
+    """Mean of the samples whose timestamps fall inside the window.
+
+    Raises :class:`ConfigError` when the window holds no samples — that
+    always indicates a mis-sized experiment, and silently returning NaN
+    would corrupt the normalized tables downstream.
+    """
+    times, values = series.as_arrays()
+    mask = (times >= window.start) & (times < window.end)
+    if not mask.any():
+        raise ConfigError(
+            f"no samples inside window [{window.start}, {window.end}); "
+            f"series spans [{times[0] if len(times) else 'n/a'}, "
+            f"{times[-1] if len(times) else 'n/a'}]"
+        )
+    return float(values[mask].mean())

@@ -1,0 +1,46 @@
+"""TensorLights: end-host traffic prioritization for PS-mode DL training.
+
+The paper's contribution.  Three pieces:
+
+* :mod:`repro.tensorlights.tc` — a Linux-``tc``-style configuration
+  facade over the simulated NIC (``qdisc replace``, ``class add/change``,
+  ``filter add``), including the exact HTB shape the paper deploys;
+* :mod:`repro.tensorlights.policies` — how job priorities are chosen
+  (arrival order, random, smallest-update-first) and how ranks map onto a
+  bounded number of bands (``tc`` supports a limited number — the paper
+  uses up to six);
+* :mod:`repro.tensorlights.controller` — the TensorLights controller:
+  TLs-One (static assignment, refreshed on job arrival/departure) and
+  TLs-RR (assignment rotated every interval ``T`` for fairness).
+
+Usage::
+
+    tl = TensorLights(cluster, mode=TLMode.RR, interval=20.0, max_bands=6)
+    for app in apps:
+        tl.attach(app)      # before launch
+    ...
+    # jobs detach automatically when they finish
+"""
+
+from repro.tensorlights.adaptive import AdaptiveTensorLights
+from repro.tensorlights.bands import band_assignment
+from repro.tensorlights.controller import TensorLights, TLMode
+from repro.tensorlights.policies import (
+    ArrivalOrderPolicy,
+    PriorityPolicy,
+    RandomPolicy,
+    SmallestUpdateFirstPolicy,
+)
+from repro.tensorlights.tc import Tc
+
+__all__ = [
+    "AdaptiveTensorLights",
+    "ArrivalOrderPolicy",
+    "PriorityPolicy",
+    "RandomPolicy",
+    "SmallestUpdateFirstPolicy",
+    "Tc",
+    "TensorLights",
+    "TLMode",
+    "band_assignment",
+]

@@ -1,0 +1,36 @@
+"""Mapping job priority ranks onto a bounded number of bands.
+
+``tc`` supports a limited number of priority bands; the paper uses up to
+six, so with 21 concurrent jobs "multiple jobs may share the same priority
+band" (§V, Implementation).  We chunk the ranked jobs into contiguous
+groups of near-equal size: rank ``r`` of ``n`` jobs over ``b`` bands gets
+band ``floor(r * b / n)``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigError
+
+#: The paper's band budget.
+DEFAULT_MAX_BANDS = 6
+
+
+def band_assignment(n_jobs: int, max_bands: int = DEFAULT_MAX_BANDS) -> List[int]:
+    """Band index (0 = highest priority) for each rank ``0..n_jobs-1``.
+
+    Properties (tested):
+
+    * monotone: a better rank never gets a worse (higher) band;
+    * uses exactly ``min(n_jobs, max_bands)`` distinct bands;
+    * band sizes differ by at most one job.
+    """
+    if n_jobs < 0:
+        raise ConfigError(f"n_jobs must be >= 0, got {n_jobs}")
+    if max_bands < 1:
+        raise ConfigError(f"max_bands must be >= 1, got {max_bands}")
+    if n_jobs == 0:
+        return []
+    bands = min(n_jobs, max_bands)
+    return [(rank * bands) // n_jobs for rank in range(n_jobs)]

@@ -1,0 +1,194 @@
+"""The TensorLights controller: TLs-One and TLs-RR.
+
+Per PS host with *contending* PSes (two or more), the controller installs
+the HTB priority configuration via :class:`~repro.tensorlights.tc.Tc` and
+maps each job's PS port to a band.  Hosts without contention are left
+untouched — exactly the paper's deployment ("we only need to configure tc
+on the hosts with contending PSes and leave other hosts unchanged").
+
+* **TLs-One**: the ranking is computed once per membership change (job
+  arrival or departure) and otherwise left alone.
+* **TLs-RR**: additionally, every interval ``T`` the assignment is
+  rotated by one position — over ``n`` intervals every job has held every
+  rank once, which equalizes progress (fairness) while preserving the
+  within-interval serialization that kills stragglers.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import ConfigError
+from repro.sim.process import Timeout
+from repro.tensorlights.bands import DEFAULT_MAX_BANDS, band_assignment
+from repro.tensorlights.policies import ArrivalOrderPolicy, PriorityPolicy
+from repro.tensorlights.tc import Tc
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+    from repro.dl.application import DLApplication
+
+
+class TLMode(str, enum.Enum):
+    """Which TensorLights variant to run."""
+
+    ONE = "tls-one"
+    RR = "tls-rr"
+
+
+class _HostState:
+    """Per-PS-host controller state."""
+
+    __slots__ = ("tc", "apps", "ports", "rotation")
+
+    def __init__(self, tc: Tc) -> None:
+        self.tc = tc
+        self.apps: List["DLApplication"] = []
+        #: job_id -> this job's PS ports on this host (>1 for sharded jobs)
+        self.ports: Dict[str, List[int]] = {}
+        self.rotation = 0
+
+
+class TensorLights:
+    """The end-host traffic scheduler.
+
+    Args:
+        cluster: the cluster whose NICs will be configured.
+        mode: :data:`TLMode.ONE` or :data:`TLMode.RR`.
+        interval: TLs-RR rotation period ``T`` in seconds (paper: 20 s).
+        max_bands: priority bands available (paper: up to 6).
+        policy: how contending jobs are ranked (default: arrival order).
+    """
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        mode: TLMode = TLMode.ONE,
+        interval: float = 20.0,
+        max_bands: int = DEFAULT_MAX_BANDS,
+        policy: Optional[PriorityPolicy] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ConfigError(f"rotation interval must be positive, got {interval}")
+        if max_bands < 1:
+            raise ConfigError(f"max_bands must be >= 1, got {max_bands}")
+        self.cluster = cluster
+        self.mode = mode
+        self.interval = interval
+        self.max_bands = max_bands
+        self.policy: PriorityPolicy = policy if policy is not None else ArrivalOrderPolicy()
+        self._hosts: Dict[str, _HostState] = {}
+        self._rotor_running = False
+        self.reconfigurations = 0  # tc touch count (deployment cost metric)
+
+    # -- job lifecycle ------------------------------------------------------
+
+    def attach(self, app: "DLApplication") -> None:
+        """Register a job (call on arrival, before or after launch).
+
+        Sharded (multi-PS) jobs are registered on every host carrying one
+        of their PS endpoints; all of a job's ports on a host share the
+        job's band.
+        """
+        endpoints_by_host: Dict[str, List[int]] = {}
+        for ep in app.ps_endpoints:
+            endpoints_by_host.setdefault(ep.host_id, []).append(ep.port)
+        for host_id, ports in endpoints_by_host.items():
+            state = self._hosts.get(host_id)
+            if state is None:
+                state = _HostState(Tc(self.cluster.host(host_id).nic))
+                self._hosts[host_id] = state
+            if app in state.apps:
+                raise ConfigError(f"{app.spec.job_id} already attached")
+            state.apps.append(app)
+            state.ports[app.spec.job_id] = ports
+            self._reconfigure(state)
+        if self.mode == TLMode.RR:
+            self._ensure_rotor()
+
+        # Auto-detach on completion (the paper's "upon departure").
+        def watch():
+            yield app.done
+            self.detach(app)
+
+        self.cluster.sim.spawn(watch(), name=f"tl-watch/{app.spec.job_id}")
+
+    def detach(self, app: "DLApplication") -> None:
+        """Deregister a departed job and re-rank the remainder."""
+        for host_id in {ep.host_id for ep in app.ps_endpoints}:
+            state = self._hosts.get(host_id)
+            if state is None or app not in state.apps:
+                continue
+            state.apps.remove(app)
+            ports = state.ports.pop(app.spec.job_id, [])
+            if state.tc.installed:
+                for port in ports:
+                    state.tc.del_port(port)
+            self._reconfigure(state)
+
+    # -- assignment -------------------------------------------------------------
+
+    def _reconfigure(self, state: _HostState) -> None:
+        """(Re)apply the banding for one host's current jobs."""
+        n = len(state.apps)
+        if n < 2:
+            # No contention: the paper leaves such hosts at the default
+            # FIFO.  If tc was installed earlier (job count dropped to 1),
+            # a single-class HTB behaves like FIFO, so removal is safe too;
+            # we remove to match the paper's "leave other hosts unchanged".
+            if state.tc.installed:
+                state.tc.remove()
+                self.reconfigurations += 1
+            return
+        if not state.tc.installed:
+            state.tc.install_tensorlights_htb(self.max_bands)
+            self.reconfigurations += 1
+        ranked = self.policy.rank(state.apps, self.cluster.sim.rng)
+        bands = band_assignment(n, self.max_bands)
+        for rank, app in enumerate(ranked):
+            rotated_rank = (rank + state.rotation) % n
+            for port in state.ports[app.spec.job_id]:
+                state.tc.set_port_band(port, bands[rotated_rank])
+                self.reconfigurations += 1
+
+    # -- TLs-RR rotation -------------------------------------------------------
+
+    def _ensure_rotor(self) -> None:
+        if self._rotor_running:
+            return
+        self._rotor_running = True
+        self.cluster.sim.spawn(self._rotor(), name="tls-rr-rotor")
+
+    def _rotor(self):
+        while True:
+            yield Timeout(self.interval)
+            active = [s for s in self._hosts.values() if len(s.apps) >= 2]
+            if not any(s.apps for s in self._hosts.values()):
+                break  # all jobs finished; let the simulation drain
+            for state in active:
+                state.rotation += 1
+                self._reconfigure(state)
+        self._rotor_running = False
+
+    # -- introspection ---------------------------------------------------------
+
+    def band_of(self, app: "DLApplication") -> Optional[int]:
+        """The band currently assigned to a job's PS port, if any."""
+        state = self._hosts.get(app.ps_host_id)
+        if state is None or not state.tc.installed:
+            return None
+        return state.tc.band_of_port(app.ps_port)
+
+    def contended_hosts(self) -> List[str]:
+        """Hosts currently under TensorLights control (>= 2 PSes)."""
+        return sorted(h for h, s in self._hosts.items() if len(s.apps) >= 2)
+
+    def render_commands(self) -> List[str]:
+        """All equivalent real-``tc`` command lines, per configured host."""
+        out: List[str] = []
+        for host_id in sorted(self._hosts):
+            state = self._hosts[host_id]
+            if state.tc.installed:
+                out.extend(state.tc.render_commands())
+        return out

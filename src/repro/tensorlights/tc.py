@@ -1,0 +1,220 @@
+"""A Linux-``tc``-style configuration facade for simulated NICs.
+
+The paper deploys TensorLights purely through ``tc``: an HTB root qdisc,
+one class per priority band, and filters matching each PS's TCP source
+port (§V, Implementation).  :class:`Tc` exposes that workflow as methods;
+:class:`TcShell` additionally accepts a practical subset of real ``tc``
+command lines, so the configuration used in experiments can be rendered
+exactly as it would be typed on the testbed.
+
+Standard TensorLights shape (``Tc.install_tensorlights_htb``)::
+
+    tc qdisc replace dev <host> root handle 1: htb default <last-band>
+    tc class add dev <h> parent 1:  classid 1:1  htb rate <link> ceil <link>
+    tc class add dev <h> parent 1:1 classid 1:10 htb rate <link/1000> ceil <link> prio 0
+    ... one class per band ...
+    tc filter add dev <h> protocol ip parent 1: u32 match ip sport <ps-port> flowid 1:<10+band>
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+from typing import Dict, Optional, TYPE_CHECKING
+
+from repro.errors import TcError
+from repro.net.qdisc import HTBQdisc, PFifo, PortFilter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.nic import NIC
+
+ROOT_CLASSID = 1
+BAND_CLASSID_BASE = 10
+#: Guaranteed-rate fraction per band class (tiny: priorities do the work,
+#: the guarantee only prevents total starvation).
+GUARANTEED_RATE_FRACTION = 1e-3
+
+
+class Tc:
+    """Per-device traffic-control configuration."""
+
+    def __init__(self, nic: "NIC") -> None:
+        self.nic = nic
+        self._htb: Optional[HTBQdisc] = None
+        self._filter: Optional[PortFilter] = None
+        self._n_bands = 0
+        self._port_to_band: Dict[int, int] = {}
+
+    # -- high-level: the TensorLights configuration ------------------------
+
+    def install_tensorlights_htb(self, n_bands: int) -> None:
+        """Install the paper's HTB shape with ``n_bands`` priority bands."""
+        if n_bands < 1:
+            raise TcError(f"need >= 1 band, got {n_bands}")
+        link = self.nic.rate
+        filt = PortFilter()
+        htb = HTBQdisc(filter=filt, default_classid=BAND_CLASSID_BASE + n_bands - 1)
+        htb.add_class(ROOT_CLASSID, rate=link, ceil=link)
+        for band in range(n_bands):
+            htb.add_class(
+                BAND_CLASSID_BASE + band,
+                rate=link * GUARANTEED_RATE_FRACTION,
+                ceil=link,
+                prio=band,
+                parent=ROOT_CLASSID,
+            )
+        self._htb = htb
+        self._filter = filt
+        self._n_bands = n_bands
+        self._port_to_band = {}
+        self.nic.set_qdisc(htb)
+
+    def remove(self) -> None:
+        """``tc qdisc del root`` — revert to the default FIFO."""
+        self._htb = None
+        self._filter = None
+        self._n_bands = 0
+        self._port_to_band = {}
+        self.nic.set_qdisc(PFifo())
+
+    @property
+    def installed(self) -> bool:
+        return self._htb is not None
+
+    @property
+    def n_bands(self) -> int:
+        return self._n_bands
+
+    def _require_htb(self) -> HTBQdisc:
+        if self._htb is None:
+            raise TcError(f"no htb qdisc installed on {self.nic.host_id}")
+        return self._htb
+
+    # -- filters: PS port -> band ------------------------------------------
+
+    def set_port_band(self, sport: int, band: int) -> None:
+        """Map a PS source port to a priority band (add or move)."""
+        htb = self._require_htb()
+        if not 0 <= band < self._n_bands:
+            raise TcError(f"band {band} out of range (have {self._n_bands})")
+        assert self._filter is not None
+        self._filter.remove_match(sport)
+        self._filter.add_match(sport, BAND_CLASSID_BASE + band)
+        self._port_to_band[sport] = band
+
+    def del_port(self, sport: int) -> None:
+        """Remove a port's filter (job departed)."""
+        self._require_htb()
+        assert self._filter is not None
+        self._filter.remove_match(sport)
+        self._port_to_band.pop(sport, None)
+
+    def band_of_port(self, sport: int) -> Optional[int]:
+        return self._port_to_band.get(sport)
+
+    @property
+    def port_bands(self) -> Dict[int, int]:
+        return dict(self._port_to_band)
+
+    # -- class tweaks --------------------------------------------------------
+
+    def change_band_prio(self, band: int, prio: int) -> None:
+        """``tc class change ... prio`` on one band class."""
+        htb = self._require_htb()
+        if not 0 <= band < self._n_bands:
+            raise TcError(f"band {band} out of range (have {self._n_bands})")
+        htb.change_class(BAND_CLASSID_BASE + band, prio=prio)
+
+    # -- rendering ---------------------------------------------------------
+
+    def render_commands(self) -> list[str]:
+        """The equivalent real ``tc`` command lines for this config."""
+        if self._htb is None:
+            return [f"tc qdisc del dev {self.nic.host_id} root"]
+        dev = self.nic.host_id
+        link_bit = int(self.nic.rate * 8)
+        out = [
+            f"tc qdisc replace dev {dev} root handle 1: htb default "
+            f"{BAND_CLASSID_BASE + self._n_bands - 1}",
+            f"tc class add dev {dev} parent 1: classid 1:{ROOT_CLASSID} htb "
+            f"rate {link_bit}bit ceil {link_bit}bit",
+        ]
+        for band in range(self._n_bands):
+            rate_bit = int(self.nic.rate * GUARANTEED_RATE_FRACTION * 8)
+            out.append(
+                f"tc class add dev {dev} parent 1:{ROOT_CLASSID} classid "
+                f"1:{BAND_CLASSID_BASE + band} htb rate {rate_bit}bit "
+                f"ceil {link_bit}bit prio {band}"
+            )
+        for sport, band in sorted(self._port_to_band.items()):
+            out.append(
+                f"tc filter add dev {dev} protocol ip parent 1: u32 "
+                f"match ip sport {sport} 0xffff flowid "
+                f"1:{BAND_CLASSID_BASE + band}"
+            )
+        return out
+
+
+class TcShell:
+    """Parses a practical subset of ``tc`` command lines onto :class:`Tc`.
+
+    Supported grammar (whitespace-separated, ``tc`` prefix optional)::
+
+        qdisc replace dev <dev> root handle 1: htb bands <n>
+        qdisc del dev <dev> root
+        filter add dev <dev> sport <port> band <n>
+        filter del dev <dev> sport <port>
+        class change dev <dev> band <n> prio <p>
+    """
+
+    def __init__(self, nics: Dict[str, "NIC"]) -> None:
+        self._tcs: Dict[str, Tc] = {}
+        self._nics = nics
+
+    def tc_for(self, dev: str) -> Tc:
+        tc = self._tcs.get(dev)
+        if tc is None:
+            nic = self._nics.get(dev)
+            if nic is None:
+                raise TcError(f"unknown device {dev!r}")
+            tc = Tc(nic)
+            self._tcs[dev] = tc
+        return tc
+
+    def run(self, command: str) -> None:
+        tokens = shlex.split(command)
+        if tokens and tokens[0] == "tc":
+            tokens = tokens[1:]
+        if not tokens:
+            raise TcError("empty tc command")
+        args = self._kv(tokens)
+        kind = tokens[0]
+        action = tokens[1] if len(tokens) > 1 else ""
+        dev = args.get("dev")
+        if dev is None:
+            raise TcError(f"missing 'dev' in: {command}")
+        tc = self.tc_for(dev)
+
+        if kind == "qdisc" and action == "replace":
+            if "htb" not in tokens:
+                raise TcError(f"only htb qdiscs supported: {command}")
+            tc.install_tensorlights_htb(int(args.get("bands", "6")))
+        elif kind == "qdisc" and action == "del":
+            tc.remove()
+        elif kind == "filter" and action == "add":
+            tc.set_port_band(int(args["sport"]), int(args["band"]))
+        elif kind == "filter" and action == "del":
+            tc.del_port(int(args["sport"]))
+        elif kind == "class" and action == "change":
+            tc.change_band_prio(int(args["band"]), int(args["prio"]))
+        else:
+            raise TcError(f"unsupported tc command: {command}")
+
+    @staticmethod
+    def _kv(tokens: list[str]) -> Dict[str, str]:
+        """key-value pairs from alternating tokens (tc's CLI convention)."""
+        out: Dict[str, str] = {}
+        for i, tok in enumerate(tokens[:-1]):
+            if re.fullmatch(r"[a-z_]+", tok):
+                out.setdefault(tok, tokens[i + 1])
+        return out

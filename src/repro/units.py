@@ -1,0 +1,71 @@
+"""Unit helpers.
+
+The simulator works in SI base units throughout: **seconds** for time,
+**bytes** for data, and **bytes per second** for rates.  These helpers exist
+so call sites read like the paper ("10 Gbps links", "1.86 MB updates")
+instead of raw exponents.
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: Decimal kilo/mega/giga for link rates (networking convention).
+KBPS = 1e3 / 8.0
+MBPS = 1e6 / 8.0
+GBPS = 1e9 / 8.0
+
+US = 1e-6
+MS = 1e-3
+SECOND = 1.0
+MINUTE = 60.0
+
+
+def gbps(value: float) -> float:
+    """Link rate in gigabits/second -> bytes/second."""
+    return value * GBPS
+
+
+def mbps(value: float) -> float:
+    """Link rate in megabits/second -> bytes/second."""
+    return value * MBPS
+
+
+def mib(value: float) -> int:
+    """Mebibytes -> bytes (rounded)."""
+    return int(round(value * MB))
+
+
+def kib(value: float) -> int:
+    """Kibibytes -> bytes (rounded)."""
+    return int(round(value * KB))
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count (``1.86 MiB``)."""
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024.0 or unit == "TiB":
+            return f"{n:.2f} {unit}" if unit != "B" else f"{n:.0f} B"
+        n /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_rate(bytes_per_s: float) -> str:
+    """Human-readable rate in bits/second (``10.00 Gbps``)."""
+    bits = bytes_per_s * 8.0
+    for unit, scale in (("Gbps", 1e9), ("Mbps", 1e6), ("Kbps", 1e3)):
+        if bits >= scale:
+            return f"{bits / scale:.2f} {unit}"
+    return f"{bits:.0f} bps"
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable duration (``1.23 s``, ``4.56 ms``)."""
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds * 1e6:.1f} us"

@@ -1,0 +1,90 @@
+"""Tests for CPU and network antagonists (noisy neighbors)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.antagonist import CpuAntagonist, NetworkAntagonist
+from repro.dl import DLApplication, JobSpec
+from repro.dl.model_zoo import ModelSpec
+from repro.errors import ConfigError
+from repro.net.link import Link
+from repro.sim import Simulator
+
+FAST = ModelSpec("tiny", n_params=50_000, per_sample_compute=0.02)
+
+
+def make_cluster(n_hosts=4, cores=2, rate=1.25e9):
+    sim = Simulator(seed=3)
+    cluster = Cluster(sim, n_hosts=n_hosts, cores_per_host=cores,
+                      link=Link(rate=rate), segment_bytes=64 * 1024)
+    return sim, cluster
+
+
+def test_cpu_antagonist_validation():
+    sim, cluster = make_cluster()
+    with pytest.raises(ConfigError):
+        CpuAntagonist(cluster.host("h00"), intensity=0.0)
+    with pytest.raises(ConfigError):
+        CpuAntagonist(cluster.host("h00"), intensity=1.0, period=0.0)
+
+
+def test_cpu_antagonist_occupies_cores():
+    sim, cluster = make_cluster(cores=2)
+    ant = CpuAntagonist(cluster.host("h00"), intensity=1.0, period=0.1)
+    ant.start()
+    sim.schedule(5.0, ant.stop)
+    sim.run(until=5.0)
+    busy = cluster.host("h00").cpu.utilization_snapshot()
+    # ~1 core-second per second over 5 s (start-up chunk granularity aside)
+    assert busy == pytest.approx(5.0, rel=0.1)
+
+
+def test_cpu_antagonist_slows_colocated_worker():
+    def run(with_antagonist):
+        sim, cluster = make_cluster(cores=1)
+        if with_antagonist:
+            ant = CpuAntagonist(cluster.host("h01"), intensity=1.0)
+            ant.start()
+        spec = JobSpec("j", FAST, n_workers=3, target_global_steps=30)
+        app = DLApplication(spec, cluster, "h00", ["h01", "h02", "h03"])
+        app.launch()
+        sim.run(until=60.0)
+        return app.metrics.end_time if app.metrics.finished else float("inf")
+
+    assert run(True) > 1.5 * run(False)
+
+
+def test_network_antagonist_validation():
+    sim, cluster = make_cluster()
+    with pytest.raises(ConfigError):
+        NetworkAntagonist(cluster, "h00", "h00", rate=1e6)
+    with pytest.raises(ConfigError):
+        NetworkAntagonist(cluster, "h00", "h01", rate=0.0)
+
+
+def test_network_antagonist_moves_traffic():
+    sim, cluster = make_cluster(rate=1e6)
+    ant = NetworkAntagonist(cluster, "h00", "h01", rate=5e5, period=0.05)
+    ant.start()
+    sim.schedule(2.0, ant.stop)
+    sim.run(until=2.5)
+    assert ant.bytes_offered == pytest.approx(2.0 * 5e5, rel=0.15)
+    assert ant.messages_delivered > 0
+    assert cluster.host("h01").nic.bytes_rx > 0
+
+
+def test_network_antagonist_lands_in_lowest_band_under_tls():
+    """Background traffic is unclassified -> the default (last) band."""
+    from repro.net.qdisc import HTBQdisc
+    from repro.tensorlights.tc import BAND_CLASSID_BASE, Tc
+
+    sim, cluster = make_cluster(rate=1e6)
+    tc = Tc(cluster.host("h00").nic)
+    tc.install_tensorlights_htb(3)
+    ant = NetworkAntagonist(cluster, "h00", "h01", rate=8e5, period=0.05)
+    ant.start()
+    sim.run(until=0.3)
+    ant.stop()
+    q: HTBQdisc = cluster.host("h00").nic.qdisc
+    assert q.classes[BAND_CLASSID_BASE + 2].sent_bytes > 0
+    assert q.classes[BAND_CLASSID_BASE + 0].sent_bytes == 0

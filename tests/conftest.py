@@ -1,0 +1,16 @@
+"""Global test configuration.
+
+Simulation-heavy property tests legitimately take longer than hypothesis'
+default 200 ms deadline, and wall-time deadlines are flaky on shared CI
+machines — disable them and cap example counts for a fast suite.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=50,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,76 @@
+"""Unit tests for ExperimentConfig."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.config import ExperimentConfig, Policy
+from repro.units import gbps
+
+
+def test_defaults_match_paper_workload():
+    cfg = ExperimentConfig()
+    assert cfg.n_jobs == 21
+    assert cfg.n_workers == 20
+    assert cfg.n_hosts == 21
+    assert cfg.local_batch_size == 4
+    assert cfg.model == "resnet32_cifar10"
+    assert cfg.link_gbps == 10.0
+    assert cfg.launch_stagger == 0.1
+    assert cfg.max_bands == 6
+
+
+def test_paper_scale_preset():
+    cfg = ExperimentConfig.paper_scale()
+    assert cfg.iterations == 1500
+    assert cfg.target_global_steps == 30_000
+    assert cfg.tls_interval == 20.0
+
+
+def test_tiny_preset_is_small():
+    cfg = ExperimentConfig.tiny()
+    assert cfg.n_jobs <= 6
+    assert cfg.iterations <= 6
+
+
+def test_target_global_steps_derived():
+    cfg = ExperimentConfig(iterations=10, n_workers=5)
+    assert cfg.target_global_steps == 50
+
+
+def test_link_rate_conversion():
+    cfg = ExperimentConfig(link_gbps=2.5)
+    assert cfg.link_rate == pytest.approx(gbps(2.5))
+
+
+def test_placement_derived_from_index():
+    cfg = ExperimentConfig(placement_index=4)
+    assert cfg.placement().groups == (7, 7, 7)
+
+
+def test_placement_rescales_with_jobs():
+    cfg = ExperimentConfig(n_jobs=6, placement_index=1)
+    assert cfg.placement().groups == (6,)
+
+
+def test_replace_creates_modified_copy():
+    cfg = ExperimentConfig()
+    other = cfg.replace(policy=Policy.TLS_ONE, seed=7)
+    assert other.policy == Policy.TLS_ONE
+    assert other.seed == 7
+    assert cfg.policy == Policy.FIFO  # original untouched
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        ExperimentConfig(n_jobs=0)
+    with pytest.raises(ConfigError):
+        ExperimentConfig(iterations=0)
+    with pytest.raises(ConfigError):
+        ExperimentConfig(link_gbps=0.0)
+
+
+def test_policy_values():
+    assert Policy("fifo") == Policy.FIFO
+    assert Policy("tls-one") == Policy.TLS_ONE
+    assert Policy("tls-rr") == Policy.TLS_RR
+    assert Policy("drr") == Policy.DRR

@@ -1,0 +1,116 @@
+"""Tests for the dynamic workload generator and online cluster runs."""
+
+import pytest
+
+from repro.cluster import SchedulingPolicy
+from repro.dl.model_zoo import ModelSpec
+from repro.errors import WorkloadError
+from repro.experiments.workloads import (
+    DynamicRunResult,
+    WorkloadSpec,
+    generate_jobs,
+    run_dynamic_cluster,
+)
+from repro.tensorlights import TLMode
+
+FAST = ModelSpec("fast", n_params=50_000, per_sample_compute=0.004)
+
+
+def small_spec(**kw):
+    base = dict(n_jobs=6, arrival_rate=2.0, n_workers=4,
+                iterations_range=(3, 6))
+    base.update(kw)
+    return WorkloadSpec(**base)
+
+
+def small_jobs(seed=0, **kw):
+    return generate_jobs(small_spec(**kw), seed=seed,
+                         model_overrides={"resnet32_cifar10": FAST})
+
+
+# ---------------------------------------------------------------- spec/gen
+
+
+def test_spec_validation():
+    with pytest.raises(WorkloadError):
+        WorkloadSpec(n_jobs=0)
+    with pytest.raises(WorkloadError):
+        WorkloadSpec(arrival_rate=0.0)
+    with pytest.raises(WorkloadError):
+        WorkloadSpec(models=())
+    with pytest.raises(WorkloadError):
+        WorkloadSpec(iterations_range=(5, 2))
+
+
+def test_generate_jobs_count_and_ordering():
+    jobs = small_jobs()
+    assert len(jobs) == 6
+    arrivals = [j.arrival_time for j in jobs]
+    assert arrivals == sorted(arrivals)
+    assert arrivals[0] > 0
+
+
+def test_generate_jobs_deterministic_per_seed():
+    a = small_jobs(seed=3)
+    b = small_jobs(seed=3)
+    assert [(j.job_id, j.arrival_time, j.target_global_steps) for j in a] == [
+        (j.job_id, j.arrival_time, j.target_global_steps) for j in b
+    ]
+    c = small_jobs(seed=4)
+    assert [j.arrival_time for j in a] != [j.arrival_time for j in c]
+
+
+def test_generate_jobs_iteration_bounds():
+    jobs = small_jobs()
+    for j in jobs:
+        iters = j.target_global_steps // j.n_workers
+        assert 3 <= iters <= 6
+
+
+def test_generate_jobs_model_mix():
+    spec = small_spec(models=(("resnet32_cifar10", 1.0), ("alexnet", 1.0)),
+                      n_jobs=30)
+    jobs = generate_jobs(spec, seed=1)
+    names = {j.model.name for j in jobs}
+    assert names == {"resnet32_cifar10", "alexnet"}
+
+
+# ---------------------------------------------------------------- dynamic run
+
+
+def test_dynamic_run_completes_all_jobs():
+    jobs = small_jobs()
+    result = run_dynamic_cluster(jobs, n_hosts=6,
+                                 scheduler_policy=SchedulingPolicy.RANDOM,
+                                 seed=1)
+    assert isinstance(result, DynamicRunResult)
+    assert set(result.jcts) == {j.job_id for j in jobs}
+    assert all(v > 0 for v in result.jcts.values())
+    assert result.makespan > 0
+
+
+def test_dynamic_run_ps_aware_minimizes_colocation():
+    jobs = small_jobs(n_jobs=8)
+    rand = run_dynamic_cluster(jobs, n_hosts=6,
+                               scheduler_policy=SchedulingPolicy.RANDOM, seed=2)
+    aware = run_dynamic_cluster(jobs, n_hosts=6,
+                                scheduler_policy=SchedulingPolicy.PS_AWARE,
+                                seed=2)
+    assert aware.max_colocation <= rand.max_colocation
+
+
+def test_dynamic_run_with_tensorlights():
+    jobs = small_jobs(n_jobs=8)
+    result = run_dynamic_cluster(jobs, n_hosts=6,
+                                 scheduler_policy=SchedulingPolicy.PACK,
+                                 tensorlights=TLMode.ONE, seed=1)
+    assert result.tc_reconfigurations > 0
+    assert set(result.jcts) == {j.job_id for j in jobs}
+
+
+def test_dynamic_run_is_deterministic():
+    jobs = small_jobs()
+    a = run_dynamic_cluster(jobs, n_hosts=6, seed=5)
+    b = run_dynamic_cluster(jobs, n_hosts=6, seed=5)
+    assert a.jcts == b.jcts
+    assert a.ps_host_of_job == b.ps_host_of_job

@@ -1,0 +1,89 @@
+"""Unit tests for messages, segments and flow keys."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import NetworkError
+from repro.net.addressing import FlowKey
+from repro.net.packet import Message, segment_message
+
+from tests.net.helpers import flow
+
+
+def test_flow_key_reversed():
+    f = FlowKey("a", 1, "b", 2)
+    r = f.reversed()
+    assert r == FlowKey("b", 2, "a", 1)
+    assert r.reversed() == f
+
+
+def test_flow_key_hashable_and_str():
+    f = FlowKey("a", 1, "b", 2)
+    assert {f: 1}[FlowKey("a", 1, "b", 2)] == 1
+    assert str(f) == "a:1->b:2"
+
+
+def test_message_requires_positive_size():
+    with pytest.raises(NetworkError):
+        Message(flow=flow(), size=0)
+
+
+def test_message_ids_unique():
+    a = Message(flow=flow(), size=1)
+    b = Message(flow=flow(), size=1)
+    assert a.msg_id != b.msg_id
+
+
+def test_message_latency_requires_delivery():
+    m = Message(flow=flow(), size=10)
+    with pytest.raises(NetworkError):
+        _ = m.latency
+    m.created_at = 1.0
+    m.delivered_at = 3.5
+    assert m.latency == 2.5
+
+
+def test_segment_message_exact_multiple():
+    m = Message(flow=flow(), size=300)
+    segs = segment_message(m, 100)
+    assert [s.size for s in segs] == [100, 100, 100]
+    assert [s.index for s in segs] == [0, 1, 2]
+    assert [s.is_last for s in segs] == [False, False, True]
+
+
+def test_segment_message_remainder():
+    m = Message(flow=flow(), size=250)
+    segs = segment_message(m, 100)
+    assert [s.size for s in segs] == [100, 100, 50]
+    assert segs[-1].is_last
+
+
+def test_segment_message_smaller_than_segment():
+    m = Message(flow=flow(), size=10)
+    [s] = segment_message(m, 100)
+    assert s.size == 10 and s.is_last and s.index == 0
+
+
+def test_segment_message_invalid_segment_bytes():
+    m = Message(flow=flow(), size=10)
+    with pytest.raises(NetworkError):
+        segment_message(m, 0)
+
+
+def test_segment_flow_is_message_flow():
+    m = Message(flow=flow(), size=10)
+    [s] = segment_message(m, 100)
+    assert s.flow is m.flow
+
+
+@given(
+    st.integers(min_value=1, max_value=1_000_000),
+    st.integers(min_value=64, max_value=1_000_000),
+)
+def test_property_segmentation_conserves_bytes(size, segment_bytes):
+    m = Message(flow=flow(), size=size)
+    segs = segment_message(m, segment_bytes)
+    assert sum(s.size for s in segs) == size
+    assert all(0 < s.size <= segment_bytes for s in segs)
+    assert [s.index for s in segs] == list(range(len(segs)))
+    assert sum(s.is_last for s in segs) == 1 and segs[-1].is_last

@@ -1,0 +1,110 @@
+"""Unit tests for the DRR fair-queueing qdisc."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import QdiscError
+from repro.net.qdisc import DRRQdisc
+
+from tests.net.helpers import seg
+
+
+def test_invalid_quantum():
+    with pytest.raises(QdiscError):
+        DRRQdisc(quantum=0)
+
+
+def test_single_flow_fifo():
+    q = DRRQdisc(quantum=1000)
+    a, b = seg(100, sport=5000), seg(100, sport=5000)
+    q.enqueue(a, 0.0)
+    q.enqueue(b, 0.0)
+    assert q.dequeue(0.0) is a
+    assert q.dequeue(0.0) is b
+    assert q.dequeue(0.0) is None
+
+
+def test_two_flows_interleave():
+    q = DRRQdisc(quantum=100)
+    for _ in range(4):
+        q.enqueue(seg(100, sport=5000), 0.0)
+        q.enqueue(seg(100, sport=5001), 0.0)
+    order = []
+    while True:
+        s = q.dequeue(0.0)
+        if s is None:
+            break
+        order.append(s.flow.src_port)
+    # with quantum == segment size, strict alternation
+    assert order == [5000, 5001] * 4
+
+
+def test_fairness_in_bytes_with_unequal_sizes():
+    """A flow with big segments must not get more bytes than its share."""
+    q = DRRQdisc(quantum=1000)
+    for _ in range(50):
+        q.enqueue(seg(1000, sport=5000), 0.0)  # big
+    for _ in range(100):
+        q.enqueue(seg(500, sport=5001), 0.0)  # small
+    sent = {5000: 0, 5001: 0}
+    for _ in range(60):
+        s = q.dequeue(0.0)
+        sent[s.flow.src_port] += s.size
+    assert abs(sent[5000] - sent[5001]) <= 2000
+
+
+def test_flow_count_tracks_active_flows():
+    q = DRRQdisc()
+    assert q.n_flows == 0
+    q.enqueue(seg(10, sport=5000), 0.0)
+    q.enqueue(seg(10, sport=5001), 0.0)
+    assert q.n_flows == 2
+    q.dequeue(0.0)
+    q.dequeue(0.0)
+    assert q.n_flows == 0
+
+
+def test_segment_larger_than_quantum_still_sends():
+    q = DRRQdisc(quantum=10)
+    s = seg(1000, sport=5000)
+    q.enqueue(s, 0.0)
+    assert q.dequeue(0.0) is s
+
+
+def test_limit_drops():
+    q = DRRQdisc(limit=1)
+    assert q.enqueue(seg(), 0.0)
+    assert not q.enqueue(seg(), 0.0)
+    assert q.drops == 1
+
+
+def test_backlog_accounting():
+    q = DRRQdisc()
+    q.enqueue(seg(10, sport=5000), 0.0)
+    q.enqueue(seg(20, sport=5001), 0.0)
+    assert len(q) == 2
+    assert q.backlog_bytes == 30
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=3), st.integers(min_value=1, max_value=2000)),
+        max_size=80,
+    )
+)
+def test_property_drr_conserves_all_segments(items):
+    """Every enqueued segment is eventually dequeued, per-flow in order."""
+    q = DRRQdisc(quantum=777)
+    by_flow: dict[int, list] = {}
+    for flow_idx, size in items:
+        s = seg(size, sport=5000 + flow_idx)
+        q.enqueue(s, 0.0)
+        by_flow.setdefault(5000 + flow_idx, []).append(s)
+    out_by_flow: dict[int, list] = {}
+    while True:
+        s = q.dequeue(0.0)
+        if s is None:
+            break
+        out_by_flow.setdefault(s.flow.src_port, []).append(s)
+    assert out_by_flow == by_flow
+    assert len(q) == 0 and q.backlog_bytes == 0

@@ -1,0 +1,196 @@
+"""Unit tests for PFifo, PrioQdisc and filters."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import QdiscError
+from repro.net.qdisc import PFifo, PortFilter, PrioQdisc
+
+from tests.net.helpers import seg
+
+
+# ---------------------------------------------------------------- PFifo
+
+
+def test_pfifo_fifo_order():
+    q = PFifo()
+    a, b, c = seg(10), seg(20), seg(30)
+    for s in (a, b, c):
+        assert q.enqueue(s, 0.0)
+    assert q.dequeue(0.0) is a
+    assert q.dequeue(0.0) is b
+    assert q.dequeue(0.0) is c
+    assert q.dequeue(0.0) is None
+
+
+def test_pfifo_backlog_accounting():
+    q = PFifo()
+    q.enqueue(seg(10), 0.0)
+    q.enqueue(seg(20), 0.0)
+    assert len(q) == 2
+    assert q.backlog_bytes == 30
+    q.dequeue(0.0)
+    assert len(q) == 1
+    assert q.backlog_bytes == 20
+
+
+def test_pfifo_limit_drops():
+    q = PFifo(limit=2)
+    assert q.enqueue(seg(), 0.0)
+    assert q.enqueue(seg(), 0.0)
+    assert not q.enqueue(seg(), 0.0)
+    assert q.drops == 1
+    assert len(q) == 2
+
+
+def test_pfifo_invalid_limit():
+    with pytest.raises(QdiscError):
+        PFifo(limit=0)
+
+
+def test_pfifo_work_conserving_contract():
+    q = PFifo()
+    assert q.next_ready_time(5.0) is None
+    q.enqueue(seg(), 5.0)
+    assert q.next_ready_time(5.0) == 5.0
+
+
+@given(st.lists(st.integers(min_value=1, max_value=10_000), max_size=60))
+def test_property_pfifo_preserves_order_and_bytes(sizes):
+    q = PFifo()
+    segments = [seg(s) for s in sizes]
+    for s in segments:
+        q.enqueue(s, 0.0)
+    assert q.backlog_bytes == sum(sizes)
+    out = []
+    while True:
+        s = q.dequeue(0.0)
+        if s is None:
+            break
+        out.append(s)
+    assert out == segments
+    assert q.backlog_bytes == 0
+
+
+# ---------------------------------------------------------------- PortFilter
+
+
+def test_port_filter_src_match():
+    f = PortFilter(default_class=9)
+    f.add_match(5000, 1)
+    assert f.classify(seg(sport=5000)) == 1
+    assert f.classify(seg(sport=5001)) == 9
+
+
+def test_port_filter_dst_match():
+    f = PortFilter()
+    f.add_match(6000, 2, direction="dst")
+    assert f.classify(seg(dport=6000)) == 2
+    assert f.classify(seg(dport=6001)) is None
+
+
+def test_port_filter_src_wins_over_dst():
+    f = PortFilter()
+    f.add_match(5000, 1, direction="src")
+    f.add_match(6000, 2, direction="dst")
+    assert f.classify(seg(sport=5000, dport=6000)) == 1
+
+
+def test_port_filter_remove_match():
+    f = PortFilter(default_class=0)
+    f.add_match(5000, 1)
+    assert f.n_matches == 1
+    f.remove_match(5000)
+    assert f.classify(seg(sport=5000)) == 0
+    assert f.n_matches == 0
+    f.remove_match(5000)  # idempotent
+
+
+# ---------------------------------------------------------------- PrioQdisc
+
+
+def _prio_with_ports(bands=3):
+    f = PortFilter()
+    for band in range(bands):
+        f.add_match(5000 + band, band)
+    return PrioQdisc(bands=bands, filter=f)
+
+
+def test_prio_strict_priority_order():
+    q = _prio_with_ports()
+    low = seg(sport=5002)
+    mid = seg(sport=5001)
+    high = seg(sport=5000)
+    for s in (low, mid, high):
+        q.enqueue(s, 0.0)
+    assert q.dequeue(0.0) is high
+    assert q.dequeue(0.0) is mid
+    assert q.dequeue(0.0) is low
+
+
+def test_prio_fifo_within_band():
+    q = _prio_with_ports()
+    a = seg(sport=5000)
+    b = seg(sport=5000)
+    q.enqueue(a, 0.0)
+    q.enqueue(b, 0.0)
+    assert q.dequeue(0.0) is a
+    assert q.dequeue(0.0) is b
+
+
+def test_prio_unclassified_goes_to_last_band():
+    q = _prio_with_ports()
+    unknown = seg(sport=9999)
+    high = seg(sport=5000)
+    q.enqueue(unknown, 0.0)
+    q.enqueue(high, 0.0)
+    assert q.dequeue(0.0) is high
+    assert q.dequeue(0.0) is unknown
+    assert q.band_backlog(2) == 0
+
+
+def test_prio_no_filter_uses_last_band():
+    q = PrioQdisc(bands=2)
+    s = seg()
+    q.enqueue(s, 0.0)
+    assert q.band_backlog(1) == 1
+    assert q.dequeue(0.0) is s
+
+
+def test_prio_filter_out_of_range_band_raises():
+    f = PortFilter()
+    f.add_match(5000, 7)
+    q = PrioQdisc(bands=3, filter=f)
+    with pytest.raises(QdiscError):
+        q.enqueue(seg(sport=5000), 0.0)
+
+
+def test_prio_len_and_bytes():
+    q = _prio_with_ports()
+    q.enqueue(seg(10, sport=5000), 0.0)
+    q.enqueue(seg(20, sport=5002), 0.0)
+    assert len(q) == 2
+    assert q.backlog_bytes == 30
+
+
+def test_prio_invalid_bands():
+    with pytest.raises(QdiscError):
+        PrioQdisc(bands=0)
+
+
+def test_prio_drop_counted():
+    q = PrioQdisc(bands=1, limit_per_band=1)
+    q.enqueue(seg(), 0.0)
+    assert not q.enqueue(seg(), 0.0)
+    assert q.drops == 1
+
+
+def test_prio_high_band_never_starved_by_lower_enqueues():
+    """Band 0 traffic added later still preempts queued band-1 traffic."""
+    q = _prio_with_ports()
+    q.enqueue(seg(sport=5001), 0.0)
+    first = q.dequeue(0.0)
+    assert first.flow.src_port == 5001
+    q.enqueue(seg(sport=5001), 0.0)
+    q.enqueue(seg(sport=5000), 0.0)
+    assert q.dequeue(0.0).flow.src_port == 5000

@@ -1,0 +1,203 @@
+"""Unit and property tests for the windowed transport."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetworkError
+from repro.net import Link, StarNetwork
+from repro.net.addressing import FlowKey
+from repro.net.packet import Message
+from repro.sim import Simulator
+
+
+def two_hosts(rate=1000.0, segment_bytes=100, window=2):
+    sim = Simulator()
+    net = StarNetwork(
+        sim, ["a", "b"], link=Link(rate=rate, latency=0.0),
+        segment_bytes=segment_bytes, window_segments=window,
+    )
+    return sim, net
+
+
+def test_invalid_window():
+    sim = Simulator()
+    with pytest.raises(NetworkError):
+        StarNetwork(sim, ["a"], window_segments=0)
+
+
+def test_send_from_wrong_host_rejected():
+    sim, net = two_hosts()
+    msg = Message(flow=FlowKey("b", 1, "a", 2), size=10)
+    with pytest.raises(NetworkError, match="originate"):
+        net.transport("a").send_message(msg)
+
+
+def test_message_delivered_once_fully_reassembled():
+    sim, net = two_hosts(segment_bytes=100)
+    got = []
+    net.transport("b").listen(6000, lambda m: got.append(sim.now))
+    net.transport("a").send_message(Message(flow=FlowKey("a", 5000, "b", 6000), size=350))
+    sim.run()
+    assert len(got) == 1
+    # four segments (100,100,100,50 B) through two store-and-forward hops
+    # at 1 kB/s: the switch port is busy until 0.40 s when the last segment
+    # (arrived 0.35 s) starts; it completes at 0.45 s.
+    assert got[0] == pytest.approx(0.45)
+
+
+def test_no_listener_raises():
+    sim, net = two_hosts()
+    net.transport("a").send_message(Message(flow=FlowKey("a", 5000, "b", 6000), size=10))
+    with pytest.raises(Exception):  # ProcessError-free path: direct callback
+        sim.run()
+
+
+def test_duplicate_listener_rejected():
+    sim, net = two_hosts()
+    net.transport("b").listen(6000, lambda m: None)
+    with pytest.raises(NetworkError):
+        net.transport("b").listen(6000, lambda m: None)
+
+
+def test_unlisten_allows_rebinding():
+    sim, net = two_hosts()
+    net.transport("b").listen(6000, lambda m: None)
+    net.transport("b").unlisten(6000)
+    net.transport("b").listen(6000, lambda m: None)
+
+
+def test_window_limits_qdisc_occupancy():
+    """At most `window` segments of one flow sit in the NIC at a time."""
+    sim, net = two_hosts(segment_bytes=100, window=2)
+    net.transport("b").listen(6000, lambda m: None)
+    net.transport("a").send_message(Message(flow=FlowKey("a", 5000, "b", 6000), size=1000))
+    # Right after send: window segments admitted (1 serializing, 1 queued).
+    assert net.nic("a").tx_backlog <= 2
+    max_seen = []
+
+    def sample():
+        max_seen.append(net.nic("a").tx_backlog)
+        if sim.events:
+            sim.schedule(0.01, sample)
+
+    sim.schedule(0.0, sample)
+    sim.run()
+    assert max(max_seen) <= 2
+
+
+def test_two_flows_interleave_in_fifo():
+    """Concurrent flows share the FIFO NIC roughly fairly — both messages
+    complete near the *end* of the contention window (the straggler
+    mechanism from the paper)."""
+    sim = Simulator()
+    net = StarNetwork(
+        sim, ["a", "b", "c"], link=Link(rate=1000.0, latency=0.0),
+        segment_bytes=100, window_segments=2,
+    )
+    done = {}
+    net.transport("b").listen(6000, lambda m: done.setdefault("b", sim.now))
+    net.transport("c").listen(6000, lambda m: done.setdefault("c", sim.now))
+    net.transport("a").send_message(Message(flow=FlowKey("a", 5000, "b", 6000), size=1000))
+    net.transport("a").send_message(Message(flow=FlowKey("a", 5001, "c", 6000), size=1000))
+    sim.run()
+    # 2000 B total at 1 kB/s -> window ends ~2 s; both finish in the last
+    # quarter of the window (fair sharing, not serial completion).
+    assert done["b"] > 1.5 and done["c"] > 1.5
+
+
+def test_flow_state_cleanup():
+    sim, net = two_hosts()
+    t = net.transport("a")
+    net.transport("b").listen(6000, lambda m: None)
+    t.send_message(Message(flow=FlowKey("a", 5000, "b", 6000), size=1000))
+    assert t.active_flows == 1
+    sim.run()
+    assert t.active_flows == 0
+    assert t.messages_sent == 1
+    assert net.transport("b").messages_delivered == 1
+
+
+def test_messages_on_same_flow_delivered_in_order():
+    sim, net = two_hosts(segment_bytes=100)
+    got = []
+    net.transport("b").listen(6000, lambda m: got.append(m.msg_id))
+    flow = FlowKey("a", 5000, "b", 6000)
+    msgs = [Message(flow=flow, size=250) for _ in range(3)]
+    for m in msgs:
+        net.transport("a").send_message(m)
+    sim.run()
+    assert got == [m.msg_id for m in msgs]
+
+
+@settings(max_examples=20)
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=5000), min_size=1, max_size=10),
+    segment_bytes=st.sampled_from([64, 100, 1000]),
+    window=st.integers(min_value=1, max_value=8),
+)
+def test_property_all_bytes_delivered(sizes, segment_bytes, window):
+    """Conservation: every byte sent is delivered, regardless of window."""
+    sim = Simulator()
+    net = StarNetwork(
+        sim, ["a", "b"], link=Link(rate=1e6, latency=1e-6),
+        segment_bytes=segment_bytes, window_segments=window,
+    )
+    delivered = []
+    net.transport("b").listen(6000, lambda m: delivered.append(m.size))
+    for i, size in enumerate(sizes):
+        net.transport("a").send_message(
+            Message(flow=FlowKey("a", 5000 + (i % 3), "b", 6000), size=size)
+        )
+    sim.run()
+    assert sorted(delivered) == sorted(sizes)
+    assert net.nic("a").bytes_tx == sum(sizes)
+    assert net.nic("b").bytes_rx == sum(sizes)
+
+
+def test_slow_start_ramps_window():
+    """With slow_start, a flow begins at cwnd 1 and doubles per window's
+    worth of served segments — early segments serialize with gaps."""
+    from repro.net.transport import _SendState
+
+    s = _SendState(window=8, slow_start=True)
+    assert s.window == 1.0
+    served = 0
+    while s.window < 8.0 and served < 100:
+        s.on_progress()
+        served += 1
+    assert s.window == 8.0
+    assert served == 7  # +1 per segment in slow start
+
+
+def test_slow_start_end_to_end_still_delivers():
+    sim = Simulator()
+    net = StarNetwork(
+        sim, ["a", "b"], link=Link(rate=1000.0, latency=0.0),
+        segment_bytes=100, window_segments=8,
+    )
+    # rebuild a's transport with slow start (StarNetwork default is off)
+    from repro.net.transport import Transport
+
+    t = Transport(sim, net.nics["a"], segment_bytes=100, window_segments=8,
+                  slow_start=True)
+    net.transports["a"] = t
+    got = []
+    net.transport("b").listen(6000, got.append)
+    t.send_message(Message(flow=FlowKey("a", 1, "b", 6000), size=2000))
+    sim.run()
+    assert len(got) == 1
+    assert net.nic("b").bytes_rx == 2000
+
+
+def test_loss_exits_slow_start():
+    from repro.net.transport import _SendState
+
+    s = _SendState(window=16, slow_start=True)
+    for _ in range(3):
+        s.on_progress()
+    assert s.window == 4.0
+    s.on_loss()
+    assert s.window == 2.0
+    assert s.ssthresh == 2.0
+    s.on_progress()  # now congestion avoidance: +1/window
+    assert s.window == pytest.approx(2.5)

@@ -1,0 +1,129 @@
+"""Tests for the leaf-spine topology extension."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.addressing import FlowKey
+from repro.net.link import Link
+from repro.net.packet import Message
+from repro.net.twotier import TwoTierNetwork
+from repro.sim import Simulator
+
+
+def build(n_hosts=6, n_leaves=2, oversub=1.0, rate=1000.0, **kw):
+    sim = Simulator(seed=1)
+    net = TwoTierNetwork(
+        sim, [f"h{i}" for i in range(n_hosts)], n_leaves=n_leaves,
+        link=Link(rate=rate, latency=0.0), oversubscription=oversub,
+        segment_bytes=100, **kw,
+    )
+    return sim, net
+
+
+def test_validation():
+    sim = Simulator()
+    with pytest.raises(NetworkError):
+        TwoTierNetwork(sim, ["a"], n_leaves=0)
+    with pytest.raises(NetworkError):
+        TwoTierNetwork(sim, ["a"], n_leaves=2)
+    with pytest.raises(NetworkError):
+        TwoTierNetwork(sim, ["a", "b"], n_leaves=1, oversubscription=0.5)
+
+
+def test_hosts_distributed_round_robin():
+    sim, net = build(n_hosts=6, n_leaves=2)
+    assert net.same_leaf("h0", "h2")
+    assert net.same_leaf("h1", "h3")
+    assert not net.same_leaf("h0", "h1")
+
+
+def test_same_leaf_delivery():
+    sim, net = build()
+    got = []
+    net.transport("h2").listen(6000, got.append)
+    net.transport("h0").send_message(
+        Message(flow=FlowKey("h0", 1, "h2", 6000), size=500)
+    )
+    sim.run()
+    assert len(got) == 1
+    assert net.nic("h2").bytes_rx == 500
+
+
+def test_cross_leaf_delivery_traverses_spine():
+    sim, net = build()
+    got = []
+    net.transport("h1").listen(6000, got.append)
+    net.transport("h0").send_message(
+        Message(flow=FlowKey("h0", 1, "h1", 6000), size=500)
+    )
+    sim.run()
+    assert len(got) == 1
+    # cross-leaf: NIC (1 kB/s) finishes at 0.5 s; the last 100 B segment
+    # then pipelines through the uplink and spine downlink (3 kB/s each:
+    # 3 hosts/leaf at 1:1 oversubscription) and the destination host port
+    # (1 kB/s): 0.5 + 100/3000 + 100/3000 + 100/1000.
+    assert got[0].latency == pytest.approx(0.5 + 2 * (100 / 3000) + 0.1)
+
+
+def test_unknown_host_rejected():
+    sim, net = build()
+    with pytest.raises(NetworkError):
+        net.nic("nope")
+    with pytest.raises(NetworkError):
+        net.transport("nope")
+
+
+def test_oversubscribed_uplink_is_the_bottleneck():
+    """With 3:1 oversubscription, cross-leaf aggregate throughput is
+    capped by the uplink, not by the host NICs."""
+    def run(oversub):
+        sim, net = build(n_hosts=6, n_leaves=2, oversub=oversub)
+        done = []
+        for i, dst in enumerate(("h1", "h3", "h5")):  # all on leaf 1
+            net.transport(dst).listen(6000, lambda m: done.append(sim.now))
+        for i, (src, dst) in enumerate(
+            (("h0", "h1"), ("h2", "h3"), ("h4", "h5"))
+        ):
+            net.transport(src).send_message(
+                Message(flow=FlowKey(src, 10 + i, dst, 6000), size=2000)
+            )
+        sim.run()
+        return max(done)
+
+    # uplink rate = host_rate*3/oversub; 6000 B total cross-leaf
+    assert run(3.0) > 2.0 * run(1.0)
+
+
+def test_finite_buffers_and_recovery_cross_leaf():
+    """Incast over the spine with shallow buffers still delivers all."""
+    sim, net = build(n_hosts=6, n_leaves=2, oversub=3.0,
+                     buffer_bytes=300, rto=0.05)
+    got = []
+    net.transport("h1").listen(6000, lambda m: got.append(m.size))
+    for i, src in enumerate(("h0", "h2", "h4")):
+        net.transport(src).send_message(
+            Message(flow=FlowKey(src, 20 + i, "h1", 6000), size=1000)
+        )
+    sim.run()
+    assert sorted(got) == [1000, 1000, 1000]
+    assert sum(leaf.drops for leaf in net.leaves) > 0
+    assert net.nic("h1").bytes_rx == 3000
+
+
+def test_tensorlights_tc_works_on_twotier_nic():
+    """The tc facade is topology-agnostic: it binds to a NIC."""
+    from repro.net.qdisc import HTBQdisc
+    from repro.tensorlights.tc import Tc
+
+    sim, net = build()
+    tc = Tc(net.nic("h0"))
+    tc.install_tensorlights_htb(3)
+    tc.set_port_band(1, 0)
+    assert isinstance(net.nic("h0").qdisc, HTBQdisc)
+    got = []
+    net.transport("h1").listen(6000, got.append)
+    net.transport("h0").send_message(
+        Message(flow=FlowKey("h0", 1, "h1", 6000), size=500)
+    )
+    sim.run()
+    assert len(got) == 1

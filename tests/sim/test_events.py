@@ -1,0 +1,130 @@
+"""Unit tests for the event heap."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.events import PRIORITY_HIGH, PRIORITY_LOW, PRIORITY_NORMAL, EventQueue
+
+
+def test_empty_queue_is_falsy():
+    q = EventQueue()
+    assert not q
+    assert len(q) == 0
+    assert q.peek_time() is None
+
+
+def test_pop_empty_raises():
+    q = EventQueue()
+    with pytest.raises(SimulationError):
+        q.pop()
+
+
+def test_events_pop_in_time_order():
+    q = EventQueue()
+    order = []
+    for t in [3.0, 1.0, 2.0]:
+        q.push(t, order.append, (t,))
+    while q:
+        ev = q.pop()
+        ev.fn(*ev.args)
+    assert order == [1.0, 2.0, 3.0]
+
+
+def test_ties_break_by_priority_then_seq():
+    q = EventQueue()
+    q.push(1.0, lambda: None, priority=PRIORITY_NORMAL)
+    hi = q.push(1.0, lambda: None, priority=PRIORITY_HIGH)
+    lo = q.push(1.0, lambda: None, priority=PRIORITY_LOW)
+    first = q.pop()
+    assert first is hi
+    second = q.pop()
+    assert second is not lo  # the normal one, inserted first
+    assert q.pop() is lo
+
+
+def test_same_time_same_priority_fifo():
+    q = EventQueue()
+    evs = [q.push(5.0, lambda: None) for _ in range(10)]
+    popped = [q.pop() for _ in range(10)]
+    assert popped == evs
+
+
+def test_cancel_is_skipped_and_len_updates():
+    q = EventQueue()
+    a = q.push(1.0, lambda: None)
+    b = q.push(2.0, lambda: None)
+    q.cancel(a)
+    assert len(q) == 1
+    assert q.pop() is b
+    assert not q
+
+
+def test_cancel_idempotent():
+    q = EventQueue()
+    a = q.push(1.0, lambda: None)
+    q.cancel(a)
+    q.cancel(a)
+    assert len(q) == 0
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    a = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    q.cancel(a)
+    assert q.peek_time() == 2.0
+
+
+def test_nan_time_rejected():
+    q = EventQueue()
+    with pytest.raises(SimulationError):
+        q.push(float("nan"), lambda: None)
+
+
+def test_clear():
+    q = EventQueue()
+    for t in range(5):
+        q.push(float(t), lambda: None)
+    q.clear()
+    assert not q
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=200))
+def test_property_pop_order_is_sorted(times):
+    q = EventQueue()
+    for t in times:
+        q.push(t, lambda: None)
+    popped = []
+    while q:
+        popped.append(q.pop().time)
+    assert popped == sorted(times)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            st.booleans(),
+        ),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_property_cancellation_never_leaks(spec):
+    """After cancelling a subset, exactly the live events pop, in order."""
+    q = EventQueue()
+    live_times = []
+    handles = []
+    for t, keep in spec:
+        handles.append((q.push(t, lambda: None), keep, t))
+    for ev, keep, t in handles:
+        if keep:
+            live_times.append(t)
+        else:
+            q.cancel(ev)
+    assert len(q) == len(live_times)
+    popped = []
+    while q:
+        popped.append(q.pop().time)
+    assert popped == sorted(live_times)

@@ -1,0 +1,106 @@
+"""Unit tests for random streams and tracing."""
+
+from repro.sim import Simulator
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import Tracer
+
+
+def test_streams_are_deterministic_by_seed_and_name():
+    a = RandomStreams(1).stream("x").random(5)
+    b = RandomStreams(1).stream("x").random(5)
+    assert (a == b).all()
+
+
+def test_different_names_give_different_streams():
+    rs = RandomStreams(1)
+    a = rs.stream("x").random(5)
+    b = rs.stream("y").random(5)
+    assert not (a == b).all()
+
+
+def test_different_seeds_give_different_streams():
+    a = RandomStreams(1).stream("x").random(5)
+    b = RandomStreams(2).stream("x").random(5)
+    assert not (a == b).all()
+
+
+def test_stream_is_cached():
+    rs = RandomStreams(0)
+    assert rs.stream("s") is rs.stream("s")
+
+
+def test_adding_a_consumer_does_not_perturb_others():
+    rs1 = RandomStreams(3)
+    only = rs1.stream("main").random(4)
+
+    rs2 = RandomStreams(3)
+    rs2.stream("other").random(100)  # new consumer first
+    with_other = rs2.stream("main").random(4)
+    assert (only == with_other).all()
+
+
+def test_lognormal_factor_sigma_zero_is_one():
+    rs = RandomStreams(0)
+    assert rs.lognormal_factor("j", 0.0) == 1.0
+
+
+def test_lognormal_factor_positive():
+    rs = RandomStreams(0)
+    vals = [rs.lognormal_factor("j", 0.5) for _ in range(100)]
+    assert all(v > 0 for v in vals)
+
+
+def test_shuffle_returns_copy():
+    rs = RandomStreams(0)
+    items = [1, 2, 3, 4, 5]
+    out = rs.shuffle("s", items)
+    assert sorted(out) == items
+    assert items == [1, 2, 3, 4, 5]
+
+
+def test_uniform_bounds():
+    rs = RandomStreams(0)
+    for _ in range(50):
+        v = rs.uniform("u", 2.0, 3.0)
+        assert 2.0 <= v < 3.0
+
+
+# ---------------------------------------------------------------- Tracer
+
+
+def test_tracer_disabled_records_nothing():
+    t = Tracer(enabled=False)
+    t.record("x", a=1)
+    assert len(t) == 0
+
+
+def test_tracer_records_with_clock():
+    sim = Simulator(trace=True)
+    sim.schedule(1.5, sim.trace.record, ("tick",))
+    sim.run()
+    [rec] = sim.trace.records
+    assert rec.kind == "tick"
+    assert rec.time == 1.5
+
+
+def test_tracer_kind_filter():
+    t = Tracer(enabled=True, kinds={"keep"})
+    t.record("keep", v=1)
+    t.record("drop", v=2)
+    assert [r.kind for r in t.records] == ["keep"]
+
+
+def test_tracer_field_attribute_access():
+    t = Tracer(enabled=True)
+    t.record("k", job="j1", size=10)
+    [rec] = t.records
+    assert rec.job == "j1"
+    assert rec.size == 10
+    assert list(t.of_kind("k")) == [rec]
+
+
+def test_tracer_clear():
+    t = Tracer(enabled=True)
+    t.record("k")
+    t.clear()
+    assert len(t) == 0

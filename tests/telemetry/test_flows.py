@@ -1,0 +1,131 @@
+"""Tests for the flow completion-time collector."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.dl import DLApplication, JobSpec
+from repro.dl.model_zoo import ModelSpec
+from repro.errors import ConfigError
+from repro.net import Link, StarNetwork
+from repro.net.addressing import FlowKey
+from repro.net.packet import Message
+from repro.sim import Simulator
+from repro.telemetry.flows import FlowCollector, FlowRecord
+
+FAST = ModelSpec("tiny", n_params=50_000, per_sample_compute=0.01)
+
+
+def test_record_fields_and_fct():
+    r = FlowRecord(kind="k", job="j", size=10, created_at=1.0, delivered_at=3.5)
+    assert r.fct == 2.5
+
+
+def test_install_wraps_listeners():
+    sim = Simulator()
+    net = StarNetwork(sim, ["a", "b"], link=Link(rate=1000.0, latency=0.0))
+    collector = FlowCollector.install(net)
+    got = []
+    net.transport("b").listen(6000, got.append)
+    net.transport("a").send_message(
+        Message(flow=FlowKey("a", 1, "b", 6000), size=500, kind="data")
+    )
+    sim.run()
+    assert len(got) == 1  # original callback still fires
+    assert len(collector) == 1
+    [rec] = collector.records
+    assert rec.kind == "data"
+    assert rec.fct == pytest.approx(got[0].latency)
+
+
+def test_collector_with_dl_application():
+    sim = Simulator(seed=1)
+    cluster = Cluster(sim, n_hosts=4, link=Link(rate=1.25e9),
+                      segment_bytes=64 * 1024)
+    collector = FlowCollector.install(cluster.network)
+    spec = JobSpec("j0", FAST, n_workers=3, target_global_steps=30)
+    app = DLApplication(spec, cluster, "h00", ["h01", "h02", "h03"])
+    app.launch()
+    sim.run()
+    # 10 iterations x 3 workers in each direction
+    assert collector.fcts("model_update").size == 30
+    assert collector.fcts("gradient_update").size == 30
+    assert collector.fcts("model_update", job="j0").size == 30
+    assert collector.fcts("model_update", job="nope").size == 0
+    assert (collector.fcts() > 0).all()
+
+
+def test_percentile_and_tail_ratio():
+    c = FlowCollector()
+    for i, fct in enumerate([1.0, 1.0, 1.0, 10.0]):
+        c.records.append(FlowRecord("k", "j", 1, 0.0, fct))
+    assert c.percentile("k", 50) == pytest.approx(1.0)
+    assert c.tail_ratio("k", p=100) == pytest.approx(10.0)
+
+
+def test_queries_on_empty_raise():
+    c = FlowCollector()
+    with pytest.raises(ConfigError):
+        c.percentile("k", 50)
+    with pytest.raises(ConfigError):
+        c.tail_ratio("k")
+
+
+def test_by_job_partitions():
+    c = FlowCollector()
+    c.records.append(FlowRecord("k", "a", 1, 0.0, 1.0))
+    c.records.append(FlowRecord("k", "b", 1, 0.0, 2.0))
+    c.records.append(FlowRecord("k", "a", 1, 0.0, 3.0))
+    by = c.by_job("k")
+    assert set(by) == {"a", "b"}
+    assert by["a"].size == 2
+
+
+# ---------------------------------------------------------------- queues
+
+
+def test_queue_depth_sampler_validation():
+    from repro.telemetry import QueueDepthSampler
+
+    sim = Simulator()
+    cluster = Cluster(sim, n_hosts=2)
+    with pytest.raises(Exception):
+        QueueDepthSampler(cluster.host("h00"), interval=0.0)
+
+
+def test_queue_depth_sampler_sees_contention():
+    from repro.net.link import Link as _Link
+    from repro.telemetry import QueueDepthSampler
+
+    sim = Simulator(seed=1)
+    cluster = Cluster(sim, n_hosts=4, link=_Link(rate=2e6),
+                      segment_bytes=64 * 1024)
+    sampler = QueueDepthSampler(cluster.host("h00"), interval=0.01)
+    sampler.start()
+    spec = JobSpec("j0", FAST, n_workers=3, target_global_steps=30)
+    app = DLApplication(spec, cluster, "h00", ["h01", "h02", "h03"])
+    app.launch()
+
+    def stopper():
+        yield app.done
+        sampler.stop()
+
+    sim.spawn(stopper(), name="stopper")
+    sim.run()
+    assert len(sampler.depth) > 0
+    # the PS's 3-message bursts through a slow 2 MB/s NIC must queue
+    assert sampler.peak_backlog() > 0
+    assert 0.0 <= sampler.busy_fraction() <= 1.0
+    assert sampler.mean_depth() >= 0.0
+
+
+def test_queue_depth_sampler_empty_queries_raise():
+    from repro.errors import ConfigError
+    from repro.telemetry import QueueDepthSampler
+
+    sim = Simulator()
+    cluster = Cluster(sim, n_hosts=2)
+    s = QueueDepthSampler(cluster.host("h00"))
+    with pytest.raises(ConfigError):
+        s.peak_backlog()
+    with pytest.raises(ConfigError):
+        s.mean_depth()

@@ -1,0 +1,104 @@
+"""Unit tests for band allocation and priority policies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.sim.rng import RandomStreams
+from repro.tensorlights.bands import band_assignment
+from repro.tensorlights.policies import (
+    ArrivalOrderPolicy,
+    RandomPolicy,
+    SmallestUpdateFirstPolicy,
+)
+
+
+# ---------------------------------------------------------------- bands
+
+
+def test_band_assignment_validation():
+    with pytest.raises(ConfigError):
+        band_assignment(-1)
+    with pytest.raises(ConfigError):
+        band_assignment(5, max_bands=0)
+
+
+def test_band_assignment_empty():
+    assert band_assignment(0) == []
+
+
+def test_band_assignment_fewer_jobs_than_bands():
+    assert band_assignment(3, max_bands=6) == [0, 1, 2]
+
+
+def test_band_assignment_exact():
+    assert band_assignment(6, max_bands=6) == [0, 1, 2, 3, 4, 5]
+
+
+def test_band_assignment_papers_case_21_jobs_6_bands():
+    bands = band_assignment(21, max_bands=6)
+    assert len(bands) == 21
+    assert min(bands) == 0 and max(bands) == 5
+    # near-equal sharing: sizes differ by at most one
+    sizes = [bands.count(b) for b in range(6)]
+    assert max(sizes) - min(sizes) <= 1
+
+
+@given(st.integers(min_value=1, max_value=100), st.integers(min_value=1, max_value=16))
+def test_property_band_assignment_invariants(n_jobs, max_bands):
+    bands = band_assignment(n_jobs, max_bands)
+    assert len(bands) == n_jobs
+    assert bands == sorted(bands)  # monotone in rank
+    used = sorted(set(bands))
+    assert used == list(range(min(n_jobs, max_bands)))  # exactly these bands
+    sizes = [bands.count(b) for b in used]
+    assert max(sizes) - min(sizes) <= 1
+
+
+# ---------------------------------------------------------------- policies
+
+
+class FakeApp:
+    def __init__(self, job_id, arrival=0.0, update_bytes=100):
+        class Spec:
+            pass
+
+        self.spec = Spec()
+        self.spec.job_id = job_id
+        self.spec.arrival_time = arrival
+        self.spec.update_bytes = update_bytes
+
+    def __repr__(self):
+        return self.spec.job_id
+
+
+def test_arrival_order_policy():
+    apps = [FakeApp("b", 2.0), FakeApp("a", 1.0), FakeApp("c", 1.0)]
+    ranked = ArrivalOrderPolicy().rank(apps, RandomStreams(0))
+    assert [a.spec.job_id for a in ranked] == ["a", "c", "b"]
+
+
+def test_random_policy_deterministic_per_seed():
+    apps = [FakeApp(f"j{i}") for i in range(10)]
+    r1 = RandomPolicy().rank(apps, RandomStreams(7))
+    r2 = RandomPolicy().rank(list(reversed(apps)), RandomStreams(7))
+    assert [a.spec.job_id for a in r1] == [a.spec.job_id for a in r2]
+
+
+def test_random_policy_permutes():
+    apps = [FakeApp(f"j{i}") for i in range(10)]
+    ranked = RandomPolicy().rank(apps, RandomStreams(3))
+    assert sorted(a.spec.job_id for a in ranked) == sorted(a.spec.job_id for a in apps)
+
+
+def test_smallest_update_first():
+    apps = [FakeApp("big", update_bytes=1000), FakeApp("small", update_bytes=10),
+            FakeApp("mid", update_bytes=100)]
+    ranked = SmallestUpdateFirstPolicy().rank(apps, RandomStreams(0))
+    assert [a.spec.job_id for a in ranked] == ["small", "mid", "big"]
+
+
+def test_smallest_update_ties_break_by_arrival():
+    apps = [FakeApp("late", arrival=5.0), FakeApp("early", arrival=1.0)]
+    ranked = SmallestUpdateFirstPolicy().rank(apps, RandomStreams(0))
+    assert [a.spec.job_id for a in ranked] == ["early", "late"]

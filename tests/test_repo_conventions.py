@@ -1,0 +1,71 @@
+"""Repository convention guards.
+
+Cheap meta-tests that keep the public surface documented and the imports
+clean as the library grows: every module has a docstring, every public
+class and function is documented, and declared ``__all__`` names exist.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_every_module_has_a_docstring(module_name):
+    mod = importlib.import_module(module_name)
+    assert mod.__doc__ and mod.__doc__.strip(), f"{module_name} lacks a docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_declared_all_names_exist(module_name):
+    mod = importlib.import_module(module_name)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{module_name}.__all__ lists missing {name!r}"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_classes_and_functions_documented(module_name):
+    mod = importlib.import_module(module_name)
+    undocumented = []
+    for name, obj in vars(mod).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module_name:
+            continue  # re-export; documented at its home
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(name)
+    assert not undocumented, f"{module_name}: undocumented public {undocumented}"
+
+
+def test_no_module_imports_pytest():
+    """Library code must not depend on the test stack."""
+    for module_name in MODULES:
+        mod = importlib.import_module(module_name)
+        source_file = getattr(mod, "__file__", "") or ""
+        if not source_file.endswith(".py"):
+            continue
+        with open(source_file) as fh:
+            src = fh.read()
+        assert "import pytest" not in src, f"{module_name} imports pytest"
+        assert "import hypothesis" not in src, f"{module_name} imports hypothesis"
+
+
+def test_every_subpackage_reachable_from_root():
+    for sub in ("sim", "net", "cluster", "dl", "tensorlights", "telemetry",
+                "analysis", "experiments"):
+        importlib.import_module(f"repro.{sub}")
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2

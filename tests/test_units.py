@@ -1,0 +1,39 @@
+"""Unit tests for the units helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_byte_constants():
+    assert units.KB == 1024
+    assert units.MB == 1024 ** 2
+    assert units.GB == 1024 ** 3
+
+
+def test_rate_conversions():
+    assert units.gbps(10) == pytest.approx(10e9 / 8)
+    assert units.mbps(1) == pytest.approx(1e6 / 8)
+
+
+def test_byte_helpers():
+    assert units.kib(1) == 1024
+    assert units.mib(1.5) == int(1.5 * 1024 ** 2)
+
+
+def test_fmt_bytes():
+    assert units.fmt_bytes(512) == "512 B"
+    assert units.fmt_bytes(1024) == "1.00 KiB"
+    assert units.fmt_bytes(1.86 * 1024 ** 2) == "1.86 MiB"
+
+
+def test_fmt_rate():
+    assert units.fmt_rate(units.gbps(10)) == "10.00 Gbps"
+    assert units.fmt_rate(units.mbps(5)) == "5.00 Mbps"
+    assert units.fmt_rate(10) == "80 bps"
+
+
+def test_fmt_time():
+    assert units.fmt_time(1.5) == "1.50 s"
+    assert units.fmt_time(0.0015) == "1.50 ms"
+    assert units.fmt_time(2e-6) == "2.0 us"
