@@ -6,8 +6,8 @@ from conftest import run_once
 from repro.experiments import ablations
 
 
-def test_a1_priority_band_budget(benchmark, bench_config):
-    result = run_once(benchmark, lambda: ablations.bands(bench_config, band_counts=(1, 2, 6)))
+def test_a1_priority_band_budget(benchmark, bench_config, bench_campaign):
+    result = run_once(benchmark, lambda: ablations.bands(bench_config, campaign=bench_campaign, band_counts=(1, 2, 6)))
     print()
     print(result.render())
     # More bands help (monotone-ish): 6 bands beat 1 band on JCT.
@@ -15,8 +15,8 @@ def test_a1_priority_band_budget(benchmark, bench_config):
     assert by_bands[6] < by_bands[1]
 
 
-def test_a2_rotation_interval(benchmark, bench_config):
-    result = run_once(benchmark, lambda: ablations.interval(bench_config, intervals=(0.5, 1.5, 4.0)))
+def test_a2_rotation_interval(benchmark, bench_config, bench_campaign):
+    result = run_once(benchmark, lambda: ablations.interval(bench_config, campaign=bench_campaign, intervals=(0.5, 1.5, 4.0)))
     print()
     print(result.render())
     rows = {(r[0], r[1]): r for r in result.rows}
@@ -25,16 +25,16 @@ def test_a2_rotation_interval(benchmark, bench_config):
     assert rows[("tls-rr", fastest)][4] < rows[("tls-one", "-")][4]
 
 
-def test_a3_transport_granularity(benchmark, bench_config):
-    result = run_once(benchmark, lambda: ablations.transport(bench_config))
+def test_a3_transport_granularity(benchmark, bench_config, bench_campaign):
+    result = run_once(benchmark, lambda: ablations.transport(bench_config, campaign=bench_campaign))
     print()
     print(result.render())
     # TensorLights never makes things worse, at any granularity.
     assert all(row[3] < 1.05 for row in result.rows)
 
 
-def test_a4_fair_queueing_is_not_enough(benchmark, bench_config):
-    result = run_once(benchmark, lambda: ablations.fair_queue(bench_config))
+def test_a4_fair_queueing_is_not_enough(benchmark, bench_config, bench_campaign):
+    result = run_once(benchmark, lambda: ablations.fair_queue(bench_config, campaign=bench_campaign))
     print()
     print(result.render())
     norm = {row[0]: row[2] for row in result.rows}
@@ -42,8 +42,8 @@ def test_a4_fair_queueing_is_not_enough(benchmark, bench_config):
     assert norm["tls-one"] < norm["drr"] - 0.05
 
 
-def test_a5_ps_aware_scheduling(benchmark, bench_config):
-    result = run_once(benchmark, lambda: ablations.ps_aware(bench_config))
+def test_a5_ps_aware_scheduling(benchmark, bench_config, bench_campaign):
+    result = run_once(benchmark, lambda: ablations.ps_aware(bench_config, campaign=bench_campaign))
     print()
     print(result.render())
     by_label = {row[0]: row for row in result.rows}
@@ -54,8 +54,8 @@ def test_a5_ps_aware_scheduling(benchmark, bench_config):
     assert aware[3] <= rand[3] * 1.02
 
 
-def test_a6_rate_control_loses_utilization(benchmark, bench_config):
-    result = run_once(benchmark, lambda: ablations.rate_control(bench_config, allocation_errors=(1.0, 0.6)))
+def test_a6_rate_control_loses_utilization(benchmark, bench_config, bench_campaign):
+    result = run_once(benchmark, lambda: ablations.rate_control(bench_config, campaign=bench_campaign, allocation_errors=(1.0, 0.6)))
     print()
     print(result.render())
     by_acc = {row[1]: row[3] for row in result.rows if row[0] == "rate-control"}
@@ -66,9 +66,9 @@ def test_a6_rate_control_loses_utilization(benchmark, bench_config):
     assert tls <= by_acc["100%"] + 0.02
 
 
-def test_a7_async_training(benchmark, bench_config):
+def test_a7_async_training(benchmark, bench_config, bench_campaign):
     cfg = bench_config.replace(iterations=max(6, bench_config.iterations // 3))
-    result = run_once(benchmark, lambda: ablations.async_mode(cfg))
+    result = run_once(benchmark, lambda: ablations.async_mode(cfg, campaign=bench_campaign))
     print()
     print(result.render())
     norm = {row[0]: row[2] for row in result.rows}
@@ -77,18 +77,18 @@ def test_a7_async_training(benchmark, bench_config):
     assert norm["tls-rr"] < 1.05
 
 
-def test_a8_multi_ps_sharding(benchmark, bench_config):
+def test_a8_multi_ps_sharding(benchmark, bench_config, bench_campaign):
     cfg = bench_config.replace(iterations=max(8, bench_config.iterations // 2))
-    result = run_once(benchmark, lambda: ablations.multi_ps(cfg))
+    result = run_once(benchmark, lambda: ablations.multi_ps(cfg, campaign=bench_campaign))
     print()
     print(result.render())
     # Colocated shards: contention unchanged, TensorLights still helps.
     assert all(row[3] < 0.95 for row in result.rows)
 
 
-def test_a9_compression_composes_with_tensorlights(benchmark, bench_config):
+def test_a9_compression_composes_with_tensorlights(benchmark, bench_config, bench_campaign):
     cfg = bench_config.replace(iterations=max(8, bench_config.iterations // 2))
-    result = run_once(benchmark, lambda: ablations.compression(cfg))
+    result = run_once(benchmark, lambda: ablations.compression(cfg, campaign=bench_campaign))
     print()
     print(result.render())
     norm = {(r[0], r[1]): r[3] for r in result.rows}

@@ -1,0 +1,79 @@
+"""Campaign executor benchmark: serial vs parallel wall-clock, cache hits.
+
+Runs a Figure-5a-shaped grid (placements x policies) three ways —
+in-process serial, N-process parallel, and a warm re-run against a fresh
+result cache — and emits one JSON blob with the wall-clock numbers,
+parallel speedup, and cache hit-rate.
+
+Scale knobs: ``REPRO_BENCH_WORKERS`` (parallel fan-out; default 4) plus
+the usual ``REPRO_BENCH_ITERATIONS`` / ``REPRO_BENCH_SEED``.  Speedup is
+hardware-dependent (a single-core runner shows none), so the assertions
+pin correctness — bit-identical results and a >= 95 % warm hit-rate —
+and only report the timing.
+"""
+
+import json
+import os
+import time
+
+from conftest import run_once
+
+from repro.experiments import (
+    Campaign,
+    ParallelExecutor,
+    Policy,
+    ResultCache,
+    SerialExecutor,
+)
+from repro.experiments.figures import fig5a
+
+
+def _grid(bench_config):
+    return fig5a.scenarios(bench_config, placements=(1, 2, 4, 8))
+
+
+def test_campaign_parallel_speedup_and_cache(benchmark, bench_config, tmp_path):
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "4"))
+    scenarios = _grid(bench_config)
+
+    serial = Campaign(executor=SerialExecutor()).run(scenarios)
+
+    def parallel_run():
+        return Campaign(executor=ParallelExecutor(max_workers=workers)).run(
+            scenarios
+        )
+
+    parallel = run_once(benchmark, parallel_run)
+
+    # Correctness first: parallel execution is bit-identical to serial.
+    for a, b in zip(serial.results, parallel.results):
+        assert a.jcts == b.jcts
+        assert a.makespan == b.makespan
+        assert a.sim_events == b.sim_events
+
+    # Cold run populates the cache; warm re-run must serve >= 95 % of the
+    # grid without simulating.
+    cache_dir = tmp_path / "cache"
+    cold = Campaign(cache=ResultCache(cache_dir)).run(scenarios)
+    warm_start = time.perf_counter()
+    warm = Campaign(cache=ResultCache(cache_dir)).run(scenarios)
+    warm_wall = time.perf_counter() - warm_start
+    hit_rate = warm.cache_hits / len(scenarios)
+    assert hit_rate >= 0.95
+    for a, b in zip(serial.results, warm.results):
+        assert a.jcts == b.jcts
+
+    report = {
+        "grid_points": len(scenarios),
+        "workers": workers,
+        "serial_wall_s": round(serial.wall_seconds, 3),
+        "parallel_wall_s": round(parallel.wall_seconds, 3),
+        "speedup": round(serial.wall_seconds / parallel.wall_seconds, 2)
+        if parallel.wall_seconds else None,
+        "cold_cache_wall_s": round(cold.wall_seconds, 3),
+        "warm_cache_wall_s": round(warm_wall, 3),
+        "cache_hit_rate": hit_rate,
+        "cpu_count": os.cpu_count(),
+    }
+    print()
+    print(json.dumps(report, indent=2))

@@ -8,10 +8,10 @@ up to 75 %).
 from conftest import run_once
 
 
-def test_fig2_jct_under_placements(benchmark, bench_config):
+def test_fig2_jct_under_placements(benchmark, bench_config, bench_campaign):
     from repro.experiments.figures import fig2
 
-    result = run_once(benchmark, lambda: fig2.generate(bench_config))
+    result = run_once(benchmark, lambda: fig2.generate(bench_config, campaign=bench_campaign))
     print()
     print(result.render())
 

@@ -7,10 +7,10 @@ placement #8's (paper: 3.71x), and its variance even more so (4.37x).
 from conftest import run_once
 
 
-def test_fig3_barrier_wait_distributions(benchmark, bench_config):
+def test_fig3_barrier_wait_distributions(benchmark, bench_config, bench_campaign):
     from repro.experiments.figures import fig3
 
-    result = run_once(benchmark, lambda: fig3.generate(bench_config))
+    result = run_once(benchmark, lambda: fig3.generate(bench_config, campaign=bench_campaign))
     print()
     print(result.render())
 

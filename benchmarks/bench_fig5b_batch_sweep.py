@@ -11,10 +11,10 @@ from conftest import run_once
 from repro.experiments.config import Policy
 
 
-def test_fig5b_batch_size_sweep(benchmark, bench_config):
+def test_fig5b_batch_size_sweep(benchmark, bench_config, bench_campaign):
     from repro.experiments.figures import fig5b
 
-    result = run_once(benchmark, lambda: fig5b.generate(bench_config))
+    result = run_once(benchmark, lambda: fig5b.generate(bench_config, campaign=bench_campaign))
     print()
     print(result.render())
 

@@ -16,10 +16,10 @@ from conftest import run_once
 from repro.experiments.config import Policy
 
 
-def test_fig6_barrier_wait_by_policy(benchmark, bench_config):
+def test_fig6_barrier_wait_by_policy(benchmark, bench_config, bench_campaign):
     from repro.experiments.figures import fig6
 
-    result = run_once(benchmark, lambda: fig6.generate(bench_config))
+    result = run_once(benchmark, lambda: fig6.generate(bench_config, campaign=bench_campaign))
     print()
     print(result.render())
 

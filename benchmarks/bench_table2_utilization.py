@@ -11,10 +11,10 @@ from conftest import run_once
 from repro.experiments.config import Policy
 
 
-def test_table2_normalized_utilization(benchmark, bench_config):
+def test_table2_normalized_utilization(benchmark, bench_config, bench_campaign):
     from repro.experiments.figures import table2
 
-    result = run_once(benchmark, lambda: table2.generate(bench_config))
+    result = run_once(benchmark, lambda: table2.generate(bench_config, campaign=bench_campaign))
     print()
     print(result.render())
 

@@ -9,12 +9,16 @@ Scale knobs (environment variables):
 * ``REPRO_BENCH_ITERATIONS`` — sync iterations per job (default 20;
   the paper runs 1500, see ExperimentConfig.paper_scale()).
 * ``REPRO_BENCH_SEED`` — experiment seed (default 42).
+* ``REPRO_BENCH_WORKERS`` — fan independent runs over N processes
+  (default 0 = in-process serial; results are bit-identical either way).
+* ``REPRO_BENCH_CACHE_DIR`` — reuse cached results at this directory.
 """
 
 import os
 
 import pytest
 
+from repro.experiments.campaign import Campaign, ParallelExecutor, ResultCache
 from repro.experiments.config import ExperimentConfig
 
 
@@ -24,6 +28,16 @@ def bench_config() -> ExperimentConfig:
         iterations=int(os.environ.get("REPRO_BENCH_ITERATIONS", "20")),
         seed=int(os.environ.get("REPRO_BENCH_SEED", "42")),
     )
+
+
+@pytest.fixture(scope="session")
+def bench_campaign() -> Campaign:
+    """The campaign every grid-shaped benchmark submits through."""
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
+    executor = ParallelExecutor(max_workers=workers) if workers > 1 else None
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR")
+    cache = ResultCache(cache_dir) if cache_dir else None
+    return Campaign(executor=executor, cache=cache)
 
 
 def run_once(benchmark, fn):

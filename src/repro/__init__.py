@@ -29,17 +29,32 @@ from repro.cluster import Cluster
 from repro.cluster.placement import TABLE1_PLACEMENTS, PlacementSpec, placement_by_index
 from repro.dl import DLApplication, JobSpec
 from repro.dl.model_zoo import MODEL_ZOO, ModelSpec, get_model
-from repro.experiments import ExperimentConfig, ExperimentResult, Policy, run_experiment
+from repro.experiments import (
+    Campaign,
+    ExperimentConfig,
+    ExperimentResult,
+    ParallelExecutor,
+    Policy,
+    ResultCache,
+    Scenario,
+    SerialExecutor,
+    run_experiment,
+)
 from repro.sim import Simulator
 from repro.tensorlights import TensorLights, TLMode
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Campaign",
     "Cluster",
     "DLApplication",
     "ExperimentConfig",
     "ExperimentResult",
+    "ParallelExecutor",
+    "ResultCache",
+    "Scenario",
+    "SerialExecutor",
     "JobSpec",
     "MODEL_ZOO",
     "ModelSpec",

@@ -4,10 +4,15 @@ Examples::
 
     tensorlights table1
     tensorlights fig2 --iterations 30
-    tensorlights fig5a --placements 1 4 8
-    tensorlights fig5b --batches 1 4 16
+    tensorlights fig5a --placements 1 4 8 --parallel 4 --progress
+    tensorlights fig5b --batches 1 4 16 --cache
     tensorlights table2 --seed 7
     tensorlights run --placement 1 --policy tls-one   # one raw experiment
+
+``--parallel N`` fans independent runs out over N worker processes;
+``--cache`` / ``--cache-dir`` reuse results across invocations (results
+are deterministic in the config, so both are safe — see
+docs/reproduction-guide.md).
 """
 
 from __future__ import annotations
@@ -16,8 +21,14 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.experiments.campaign import (
+    Campaign,
+    CampaignEvent,
+    ParallelExecutor,
+    ResultCache,
+)
 from repro.experiments.config import ExperimentConfig, Policy
-from repro.experiments.runner import run_experiment
+from repro.experiments.scenario import Scenario
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -31,6 +42,45 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="telemetry sampling period (table2)")
     parser.add_argument("--paper-scale", action="store_true",
                         help="full 30000 global steps (slow)")
+
+
+def _worker_count(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_campaign(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--parallel", type=_worker_count, default=None,
+                        metavar="N",
+                        help="run independent experiments over N processes")
+    parser.add_argument("--cache", action="store_true",
+                        help="reuse cached results ($REPRO_CACHE_DIR or "
+                             "~/.cache/tensorlights-repro)")
+    parser.add_argument("--cache-dir", type=str, default=None, metavar="DIR",
+                        help="result cache at DIR (implies --cache)")
+    parser.add_argument("--progress", action="store_true",
+                        help="print per-experiment progress to stderr")
+
+
+def _campaign(args: argparse.Namespace) -> Campaign:
+    executor = None
+    if getattr(args, "parallel", None):
+        executor = ParallelExecutor(max_workers=args.parallel)
+    cache = None
+    if getattr(args, "cache_dir", None):
+        cache = ResultCache(args.cache_dir)
+    elif getattr(args, "cache", False):
+        cache = ResultCache.default()
+    progress = _print_progress if getattr(args, "progress", False) else None
+    return Campaign(executor=executor, cache=cache, progress=progress)
+
+
+def _print_progress(event: CampaignEvent) -> None:
+    label = event.scenario.label
+    print(f"[{event.completed}/{event.total}] {event.status:<7s} {label}",
+          file=sys.stderr)
 
 
 def _config(args: argparse.Namespace) -> ExperimentConfig:
@@ -67,11 +117,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Figures whose runs are independent grid points go through a Campaign;
+    # fig1/fig4/fct need in-process tracing hooks and always run serial.
+    campaign_commands = {"fig2", "fig3", "fig5a", "fig5b", "fig6", "table2",
+                         "run"}
     for name in ("table1", "fig1", "fig2", "fig3", "fig4", "fig5a", "fig5b",
                  "fig6", "table2", "fct"):
         p = sub.add_parser(name, help=f"regenerate {name}")
         if name != "table1":
             _add_common(p)
+        if name in campaign_commands:
+            _add_campaign(p)
         if name in ("fig2", "fig5a"):
             p.add_argument("--placements", type=int, nargs="+",
                            default=[1, 2, 3, 4, 5, 6, 7, 8])
@@ -81,6 +137,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     p = sub.add_parser("run", help="run one raw experiment")
     _add_common(p)
+    _add_campaign(p)
     p.add_argument("--placement", type=int, default=1, help="Table I index")
     p.add_argument("--policy", choices=[pol.value for pol in Policy],
                    default="fifo")
@@ -101,7 +158,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         cfg = cfg.replace(placement_index=args.placement,
                           policy=Policy(args.policy))
-        res = run_experiment(cfg)
+        res = _campaign(args).run_one(Scenario(config=cfg))
         if args.export is not None:
             from repro.experiments.export import to_csv, to_json
 
@@ -127,24 +184,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         fct, fig1, fig2, fig3, fig4, fig5a, fig5b, fig6, table2,
     )
 
+    campaign = (
+        _campaign(args) if args.command in campaign_commands else None
+    )
     if args.command == "fig1":
         result = fig1.generate(cfg)
         print(result.render())
         result.verify_protocol()
     elif args.command == "fig2":
-        print(fig2.generate(cfg, placements=tuple(args.placements)).render())
+        print(fig2.generate(cfg, placements=tuple(args.placements),
+                            campaign=campaign).render())
     elif args.command == "fig3":
-        print(fig3.generate(cfg).render())
+        print(fig3.generate(cfg, campaign=campaign).render())
     elif args.command == "fig4":
         print(fig4.generate(cfg).render())
     elif args.command == "fig5a":
-        print(fig5a.generate(cfg, placements=tuple(args.placements)).render())
+        print(fig5a.generate(cfg, placements=tuple(args.placements),
+                             campaign=campaign).render())
     elif args.command == "fig5b":
-        print(fig5b.generate(cfg, batch_sizes=tuple(args.batches)).render())
+        print(fig5b.generate(cfg, batch_sizes=tuple(args.batches),
+                             campaign=campaign).render())
     elif args.command == "fig6":
-        print(fig6.generate(cfg).render())
+        print(fig6.generate(cfg, campaign=campaign).render())
     elif args.command == "table2":
-        print(table2.generate(cfg).render())
+        print(table2.generate(cfg, campaign=campaign).render())
     elif args.command == "fct":
         print(fct.generate(cfg).render())
     return 0

@@ -13,7 +13,7 @@ from repro.cluster.placement import (
     placement_by_index,
 )
 from repro.cluster.scheduler import ClusterScheduler, SchedulingPolicy
-from repro.cluster.cluster import Cluster
+from repro.cluster.cluster import Cluster, default_host_ids, host_id
 
 __all__ = [
     "Cluster",
@@ -23,5 +23,7 @@ __all__ = [
     "ProcessorSharingCPU",
     "SchedulingPolicy",
     "TABLE1_PLACEMENTS",
+    "default_host_ids",
+    "host_id",
     "placement_by_index",
 ]

@@ -20,6 +20,22 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.kernel import Simulator
 
 
+def host_id(index: int) -> str:
+    """The canonical id of the ``index``-th host (``"h00"``, ``"h01"``, ...).
+
+    Single source of truth for the host-id format; everything that needs
+    to name hosts without a :class:`Cluster` in hand goes through here.
+    """
+    if index < 0:
+        raise PlacementError(f"host index must be >= 0, got {index}")
+    return f"h{index:02d}"
+
+
+def default_host_ids(n_hosts: int) -> List[str]:
+    """Canonical ids of an ``n_hosts``-host cluster, in scheduler order."""
+    return [host_id(i) for i in range(n_hosts)]
+
+
 class Cluster:
     """N hosts, one switch, uniform links — the paper's testbed."""
 
@@ -38,7 +54,7 @@ class Cluster:
         if n_hosts < 2:
             raise PlacementError(f"cluster needs >= 2 hosts, got {n_hosts}")
         self.sim = sim
-        host_ids = [f"h{i:02d}" for i in range(n_hosts)]
+        host_ids = default_host_ids(n_hosts)
         self.network = StarNetwork(
             sim,
             host_ids,

@@ -1,11 +1,46 @@
-"""Experiment harness: configs, the runner, and per-figure generators.
+"""Experiment harness: scenarios, runtime, campaigns, per-figure generators.
+
+The pipeline is layered (see ``docs/architecture.md``, "Campaign layer"):
+
+* :mod:`repro.experiments.scenario` — declarative, picklable descriptions
+  of one run (config + placement override + tags);
+* :mod:`repro.experiments.runtime` — materializes a scenario into a live
+  ``Simulator``/``Cluster``/``DLApplication`` stack and collects a
+  serializable :class:`ExperimentResult`;
+* :mod:`repro.experiments.campaign` — executes scenario lists through
+  pluggable serial/parallel executors with an on-disk result cache.
 
 Every table and figure in the paper's evaluation has a generator module
 under :mod:`repro.experiments.figures` and a benchmark under
 ``benchmarks/`` that prints the same rows/series the paper reports.
 """
 
+from repro.experiments.campaign import (
+    Campaign,
+    CampaignEvent,
+    CampaignResult,
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+)
 from repro.experiments.config import ExperimentConfig, Policy
 from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.runtime import execute_scenario, materialize
+from repro.experiments.scenario import Scenario, scenario_grid
 
-__all__ = ["ExperimentConfig", "ExperimentResult", "Policy", "run_experiment"]
+__all__ = [
+    "Campaign",
+    "CampaignEvent",
+    "CampaignResult",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ParallelExecutor",
+    "Policy",
+    "ResultCache",
+    "Scenario",
+    "SerialExecutor",
+    "execute_scenario",
+    "materialize",
+    "run_experiment",
+    "scenario_grid",
+]

@@ -20,22 +20,30 @@ future work, §VII) and quantifies it:
   with TensorLights: complementary, not rival.
 * A10 ``adaptive``  — extension: engage priorities only under measured
   contention.
+
+Every grid-shaped ablation builds a flat :class:`Scenario` list and
+submits it through one :class:`Campaign` (pass ``campaign=`` to
+parallelize or cache); A6 and A10 need mid-build hooks (custom qdiscs, an
+adaptive controller), so they use the runtime layer directly.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.cluster import ClusterScheduler, SchedulingPolicy
+from repro.cluster import ClusterScheduler, SchedulingPolicy, default_host_ids
 from repro.cluster.placement import PlacementSpec
+from repro.experiments.campaign import Campaign
 from repro.experiments.config import ExperimentConfig, Policy
-from repro.experiments.figures.common import base_config
+from repro.experiments.figures.common import base_config, submit
 from repro.experiments.report import TextTable
-from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.runtime import materialize
+from repro.experiments.scenario import Scenario
 from repro.sim.rng import RandomStreams
 
 
@@ -58,6 +66,7 @@ class AblationResult:
 def bands(
     base: Optional[ExperimentConfig] = None,
     band_counts: Sequence[int] = (1, 2, 3, 6, 12),
+    campaign: Optional[Campaign] = None,
     **overrides,
 ) -> AblationResult:
     """A1: JCT and straggler variance vs number of priority bands.
@@ -67,10 +76,15 @@ def bands(
     number — this quantifies what that budget costs.
     """
     cfg = base_config(base, **overrides).replace(placement_index=1)
-    fifo = run_experiment(cfg.replace(policy=Policy.FIFO))
-    rows = [("fifo", "-", fifo.avg_jct, 1.0, float(np.median(fifo.barrier_wait_variances())))]
-    for n in band_counts:
-        res = run_experiment(cfg.replace(policy=Policy.TLS_ONE, max_bands=n))
+    scenarios = [Scenario(config=cfg.replace(policy=Policy.FIFO))]
+    scenarios += [
+        Scenario(config=cfg.replace(policy=Policy.TLS_ONE, max_bands=n))
+        for n in band_counts
+    ]
+    fifo, *tls = submit(scenarios, campaign)
+    rows = [("fifo", "-", fifo.avg_jct, 1.0,
+             float(np.median(fifo.barrier_wait_variances())))]
+    for n, res in zip(band_counts, tls):
         rows.append(
             ("tls-one", n, res.avg_jct, res.avg_jct / fifo.avg_jct,
              float(np.median(res.barrier_wait_variances())))
@@ -88,6 +102,7 @@ def bands(
 def interval(
     base: Optional[ExperimentConfig] = None,
     intervals: Sequence[float] = (0.5, 1.5, 3.0, 6.0),
+    campaign: Optional[Campaign] = None,
     **overrides,
 ) -> AblationResult:
     """A2: TLs-RR rotation period T — fairness vs efficiency.
@@ -97,8 +112,15 @@ def interval(
     is measured as the spread (std) of per-job JCTs.
     """
     cfg = base_config(base, **overrides).replace(placement_index=1)
-    fifo = run_experiment(cfg.replace(policy=Policy.FIFO))
-    one = run_experiment(cfg.replace(policy=Policy.TLS_ONE))
+    scenarios = [
+        Scenario(config=cfg.replace(policy=Policy.FIFO)),
+        Scenario(config=cfg.replace(policy=Policy.TLS_ONE)),
+    ]
+    scenarios += [
+        Scenario(config=cfg.replace(policy=Policy.TLS_RR, tls_interval=T))
+        for T in intervals
+    ]
+    fifo, one, *rr = submit(scenarios, campaign)
 
     def spread(res: ExperimentResult) -> float:
         return float(np.std(list(res.jcts.values())))
@@ -107,10 +129,9 @@ def interval(
         ("fifo", "-", fifo.avg_jct, 1.0, spread(fifo)),
         ("tls-one", "-", one.avg_jct, one.avg_jct / fifo.avg_jct, spread(one)),
     ]
-    for T in intervals:
-        res = run_experiment(cfg.replace(policy=Policy.TLS_RR, tls_interval=T))
+    for T, res in zip(intervals, rr):
         rows.append(
-            (f"tls-rr", T, res.avg_jct, res.avg_jct / fifo.avg_jct, spread(res))
+            ("tls-rr", T, res.avg_jct, res.avg_jct / fifo.avg_jct, spread(res))
         )
     return AblationResult(
         title="A2: TLs-RR rotation interval T (placement #1)",
@@ -125,6 +146,7 @@ def interval(
 def transport(
     base: Optional[ExperimentConfig] = None,
     segment_sizes: Sequence[int] = (64 * 1024, 256 * 1024, 1024 * 1024),
+    campaign: Optional[Campaign] = None,
     **overrides,
 ) -> AblationResult:
     """A3: interleaving granularity — segment size sensitivity.
@@ -135,14 +157,20 @@ def transport(
     grow — evidence the mechanism is interleaving, not bandwidth.
     """
     cfg = base_config(base, **overrides).replace(placement_index=1)
-    rows = []
+    scenarios = []
     for seg_bytes in segment_sizes:
-        fifo = run_experiment(
-            cfg.replace(policy=Policy.FIFO, segment_bytes=seg_bytes)
+        scenarios.append(
+            Scenario(config=cfg.replace(policy=Policy.FIFO,
+                                        segment_bytes=seg_bytes))
         )
-        tls = run_experiment(
-            cfg.replace(policy=Policy.TLS_ONE, segment_bytes=seg_bytes)
+        scenarios.append(
+            Scenario(config=cfg.replace(policy=Policy.TLS_ONE,
+                                        segment_bytes=seg_bytes))
         )
+    results = submit(scenarios, campaign)
+    rows = []
+    for i, seg_bytes in enumerate(segment_sizes):
+        fifo, tls = results[2 * i], results[2 * i + 1]
         rows.append(
             (f"{seg_bytes // 1024} KiB", fifo.avg_jct, tls.avg_jct,
              tls.avg_jct / fifo.avg_jct)
@@ -158,7 +186,9 @@ def transport(
 
 
 def fair_queue(
-    base: Optional[ExperimentConfig] = None, **overrides
+    base: Optional[ExperimentConfig] = None,
+    campaign: Optional[Campaign] = None,
+    **overrides,
 ) -> AblationResult:
     """A4: per-flow fair queueing (DRR) vs FIFO vs TensorLights.
 
@@ -167,16 +197,16 @@ def fair_queue(
     stragglers.  Serializing jobs (TensorLights) does.
     """
     cfg = base_config(base, **overrides).replace(placement_index=1)
-    rows = []
-    fifo = run_experiment(cfg.replace(policy=Policy.FIFO))
-    for policy in (Policy.FIFO, Policy.DRR, Policy.TLS_ONE):
-        res = fifo if policy == Policy.FIFO else run_experiment(
-            cfg.replace(policy=policy)
-        )
-        rows.append(
-            (policy.value, res.avg_jct, res.avg_jct / fifo.avg_jct,
-             float(np.median(res.barrier_wait_variances())))
-        )
+    policies = (Policy.FIFO, Policy.DRR, Policy.TLS_ONE)
+    results = submit(
+        [Scenario(config=cfg.replace(policy=p)) for p in policies], campaign
+    )
+    fifo = results[0]
+    rows = [
+        (policy.value, res.avg_jct, res.avg_jct / fifo.avg_jct,
+         float(np.median(res.barrier_wait_variances())))
+        for policy, res in zip(policies, results)
+    ]
     return AblationResult(
         title="A4: fair queueing is not enough (placement #1)",
         headers=["Policy", "Avg JCT (s)", "Norm JCT", "Median barrier var"],
@@ -192,7 +222,7 @@ def _placement_from_scheduler(
 ) -> PlacementSpec:
     """Derive a Table-I-style placement from a dynamic scheduler policy."""
     sched = ClusterScheduler(
-        [f"h{i:02d}" for i in range(n_hosts)],
+        default_host_ids(n_hosts),
         policy=policy,
         rng=RandomStreams(seed),
     )
@@ -202,7 +232,9 @@ def _placement_from_scheduler(
 
 
 def ps_aware(
-    base: Optional[ExperimentConfig] = None, **overrides
+    base: Optional[ExperimentConfig] = None,
+    campaign: Optional[Campaign] = None,
+    **overrides,
 ) -> AblationResult:
     """A5 (paper §VII): schedule PS tasks placement-aware up front.
 
@@ -211,15 +243,19 @@ def ps_aware(
     placement removes the contention TensorLights would otherwise fix.
     """
     cfg = base_config(base, **overrides).replace(policy=Policy.FIFO)
-    rows = []
-    for label, sched_policy in (
+    labelled = [
         ("random (oblivious)", SchedulingPolicy.RANDOM),
         ("ps-aware (spread)", SchedulingPolicy.PS_AWARE),
-    ):
-        spec = _placement_from_scheduler(
-            sched_policy, cfg.n_jobs, cfg.n_hosts, cfg.seed
-        )
-        res = run_experiment(cfg, placement=spec)
+    ]
+    specs = [
+        _placement_from_scheduler(sched_policy, cfg.n_jobs, cfg.n_hosts, cfg.seed)
+        for _, sched_policy in labelled
+    ]
+    results = submit(
+        [Scenario(config=cfg, placement=spec) for spec in specs], campaign
+    )
+    rows = []
+    for (label, _), spec, res in zip(labelled, specs, results):
         rows.append(
             (label, spec.describe(), spec.max_colocation, res.avg_jct,
              float(np.median(res.barrier_wait_variances())))
@@ -238,6 +274,7 @@ def ps_aware(
 def rate_control(
     base: Optional[ExperimentConfig] = None,
     allocation_errors: Sequence[float] = (1.0, 0.8, 0.6),
+    campaign: Optional[Campaign] = None,
     **overrides,
 ) -> AblationResult:
     """A6 (paper §VII): centralized sender rate allocation vs priorities.
@@ -249,8 +286,11 @@ def rate_control(
     paper's argument for work-conserving priorities.
     """
     cfg = base_config(base, **overrides).replace(placement_index=1)
-    fifo = run_experiment(cfg.replace(policy=Policy.FIFO))
-    tls = run_experiment(cfg.replace(policy=Policy.TLS_ONE))
+    fifo, tls = submit(
+        [Scenario(config=cfg.replace(policy=Policy.FIFO)),
+         Scenario(config=cfg.replace(policy=Policy.TLS_ONE))],
+        campaign,
+    )
     rows = [
         ("fifo", "-", fifo.avg_jct, 1.0),
         ("tls-one (work-conserving)", "-", tls.avg_jct, tls.avg_jct / fifo.avg_jct),
@@ -258,7 +298,7 @@ def rate_control(
     for err in allocation_errors:
         res = _run_rate_limited(cfg, err)
         rows.append(
-            (f"rate-control", f"{err:.0%}", res.avg_jct, res.avg_jct / fifo.avg_jct)
+            ("rate-control", f"{err:.0%}", res.avg_jct, res.avg_jct / fifo.avg_jct)
         )
     return AblationResult(
         title="A6: sender rate control vs priorities (placement #1)",
@@ -270,42 +310,25 @@ def rate_control(
 def _run_rate_limited(cfg: ExperimentConfig, accuracy: float) -> ExperimentResult:
     """Run with static per-job rate shaping at the contended PS host.
 
-    Built directly on the cluster/application layers (the runner does not
-    model rate control — it is a §VII what-if, not a paper policy).
+    Built on the runtime layer with a post-materialize qdisc hook (the
+    scenario vocabulary does not model rate control — it is a §VII
+    what-if, not a paper policy), on a fluid network as the original
+    study ran it.
     """
-    from repro.cluster import Cluster
-    from repro.dl import DLApplication, JobSpec
-    from repro.dl.model_zoo import get_model
-    from repro.net.link import Link
+    from repro.dl import DLApplication
     from repro.net.qdisc import HTBQdisc, PortFilter
-    from repro.sim import Simulator
 
-    sim = Simulator(seed=cfg.seed)
-    cluster = Cluster(
-        sim, n_hosts=cfg.n_hosts, cores_per_host=cfg.cores_per_host,
-        link=Link(rate=cfg.link_rate), segment_bytes=cfg.segment_bytes,
-        window_segments=cfg.window_segments, window_jitter=cfg.window_jitter,
-    )
-    scheduler = ClusterScheduler(cluster.host_ids)
-    ps_hosts = scheduler.ps_hosts_for_placement(cfg.placement())
-    model = get_model(cfg.model)
-
-    apps = []
-    for j in range(cfg.n_jobs):
-        spec = JobSpec(
-            job_id=f"job{j:02d}", model=model, n_workers=cfg.n_workers,
-            local_batch_size=cfg.local_batch_size,
-            target_global_steps=cfg.target_global_steps,
-            arrival_time=j * cfg.launch_stagger,
-            compute_jitter_sigma=cfg.compute_jitter_sigma,
+    rt = materialize(
+        Scenario(
+            config=cfg.replace(policy=Policy.FIFO, switch_buffer_bytes=None,
+                               rto=0.2),
+            tags=(("ablation", "a6"), ("accuracy", f"{accuracy:g}")),
         )
-        workers = scheduler.worker_hosts(ps_hosts[j], cfg.n_workers)
-        apps.append(DLApplication(spec, cluster, ps_hosts[j], workers))
-
+    )
     # Static rate allocation at each contended PS host: every PS gets
     # (link / n_colocated) * accuracy, hard-capped (ceil == rate).
     by_host: Dict[str, List[DLApplication]] = {}
-    for app in apps:
+    for app in rt.apps:
         by_host.setdefault(app.ps_host_id, []).append(app)
     for host_id, host_apps in by_host.items():
         if len(host_apps) < 2:
@@ -319,26 +342,17 @@ def _run_rate_limited(cfg: ExperimentConfig, accuracy: float) -> ExperimentResul
             classid = 10 + i
             htb.add_class(classid, rate=share, ceil=share, parent=1)
             filt.add_match(app.ps_port, classid)
-        cluster.host(host_id).nic.set_qdisc(htb)
-
-    for app in apps:
-        app.launch()
-    sim.run()
-    return ExperimentResult(
-        config=cfg,
-        jcts={a.spec.job_id: a.metrics.jct for a in apps},
-        metrics={a.spec.job_id: a.metrics for a in apps},
-        ps_host_of_job={a.spec.job_id: a.ps_host_id for a in apps},
-        makespan=max(a.metrics.end_time for a in apps),
-        sim_events=sim.steps_executed,
-    )
+        rt.cluster.host(host_id).nic.set_qdisc(htb)
+    return rt.run()
 
 
 # --------------------------------------------------------------------- A7
 
 
 def async_mode(
-    base: Optional[ExperimentConfig] = None, **overrides
+    base: Optional[ExperimentConfig] = None,
+    campaign: Optional[Campaign] = None,
+    **overrides,
 ) -> AblationResult:
     """A7: asynchronous training under contention.
 
@@ -347,13 +361,15 @@ def async_mode(
     TensorLights still reduces mean JCT (less than in sync mode).
     """
     cfg = base_config(base, **overrides).replace(placement_index=1, sync=False)
-    rows = []
-    fifo = run_experiment(cfg.replace(policy=Policy.FIFO))
-    for policy in (Policy.FIFO, Policy.TLS_ONE, Policy.TLS_RR):
-        res = fifo if policy == Policy.FIFO else run_experiment(
-            cfg.replace(policy=policy)
-        )
-        rows.append((policy.value, res.avg_jct, res.avg_jct / fifo.avg_jct))
+    policies = (Policy.FIFO, Policy.TLS_ONE, Policy.TLS_RR)
+    results = submit(
+        [Scenario(config=cfg.replace(policy=p)) for p in policies], campaign
+    )
+    fifo = results[0]
+    rows = [
+        (policy.value, res.avg_jct, res.avg_jct / fifo.avg_jct)
+        for policy, res in zip(policies, results)
+    ]
     return AblationResult(
         title="A7: asynchronous training (placement #1, no barrier)",
         headers=["Policy", "Avg JCT (s)", "Norm JCT"],
@@ -367,6 +383,7 @@ def async_mode(
 def multi_ps(
     base: Optional[ExperimentConfig] = None,
     shard_counts: Sequence[int] = (1, 2, 4),
+    campaign: Optional[Campaign] = None,
     **overrides,
 ) -> AblationResult:
     """A8 (paper §III's general case): shard each job over several PSes.
@@ -377,10 +394,18 @@ def multi_ps(
     TensorLights prioritizes all of a job's shard ports as one unit.
     """
     cfg = base_config(base, **overrides).replace(placement_index=1)
-    rows = []
+    scenarios = []
     for n_ps in shard_counts:
-        fifo = _run_sharded(cfg.replace(policy=Policy.FIFO), n_ps)
-        tls = _run_sharded(cfg.replace(policy=Policy.TLS_ONE), n_ps)
+        scenarios.append(
+            Scenario(config=cfg.replace(policy=Policy.FIFO, n_ps=n_ps))
+        )
+        scenarios.append(
+            Scenario(config=cfg.replace(policy=Policy.TLS_ONE, n_ps=n_ps))
+        )
+    results = submit(scenarios, campaign)
+    rows = []
+    for i, n_ps in enumerate(shard_counts):
+        fifo, tls = results[2 * i], results[2 * i + 1]
         rows.append(
             (n_ps, fifo.avg_jct, tls.avg_jct, tls.avg_jct / fifo.avg_jct)
         )
@@ -391,66 +416,13 @@ def multi_ps(
     )
 
 
-def _run_sharded(cfg: ExperimentConfig, n_ps: int) -> ExperimentResult:
-    """Like run_experiment but with n_ps shards per job (same PS host)."""
-    from repro.cluster import Cluster
-    from repro.dl import DLApplication, JobSpec
-    from repro.dl.model_zoo import get_model
-    from repro.net.link import Link
-    from repro.sim import Simulator
-    from repro.tensorlights import TensorLights, TLMode
-
-    sim = Simulator(seed=cfg.seed)
-    cluster = Cluster(
-        sim, n_hosts=cfg.n_hosts, cores_per_host=cfg.cores_per_host,
-        link=Link(rate=cfg.link_rate), segment_bytes=cfg.segment_bytes,
-        window_segments=cfg.window_segments, window_jitter=cfg.window_jitter,
-        switch_buffer_bytes=cfg.switch_buffer_bytes, rto=cfg.rto,
-    )
-    scheduler = ClusterScheduler(cluster.host_ids)
-    ps_hosts = scheduler.ps_hosts_for_placement(cfg.placement())
-    model = get_model(cfg.model)
-    controller = None
-    if cfg.policy in (Policy.TLS_ONE, Policy.TLS_RR):
-        controller = TensorLights(
-            cluster,
-            mode=TLMode.ONE if cfg.policy == Policy.TLS_ONE else TLMode.RR,
-            interval=cfg.tls_interval, max_bands=cfg.max_bands,
-        )
-    apps = []
-    for j in range(cfg.n_jobs):
-        spec = JobSpec(
-            job_id=f"job{j:02d}", model=model, n_workers=cfg.n_workers,
-            local_batch_size=cfg.local_batch_size,
-            target_global_steps=cfg.target_global_steps,
-            arrival_time=j * cfg.launch_stagger,
-            compute_jitter_sigma=cfg.compute_jitter_sigma,
-            n_ps=n_ps,
-        )
-        workers = scheduler.worker_hosts(ps_hosts[j], cfg.n_workers)
-        app = DLApplication(spec, cluster, ps_hosts[j], workers)
-        if controller is not None:
-            controller.attach(app)
-        apps.append(app)
-    for app in apps:
-        app.launch()
-    sim.run()
-    return ExperimentResult(
-        config=cfg,
-        jcts={a.spec.job_id: a.metrics.jct for a in apps},
-        metrics={a.spec.job_id: a.metrics for a in apps},
-        ps_host_of_job={a.spec.job_id: a.ps_host_id for a in apps},
-        makespan=max(a.metrics.end_time for a in apps),
-        sim_events=sim.steps_executed,
-    )
-
-
 # --------------------------------------------------------------------- A9
 
 
 def compression(
     base: Optional[ExperimentConfig] = None,
     ratios: Sequence[float] = (1.0, 0.25),
+    campaign: Optional[Campaign] = None,
     **overrides,
 ) -> AblationResult:
     """A9: gradient compression vs TensorLights — complementary, not rival.
@@ -460,75 +432,27 @@ def compression(
     remaining contention.  Each helps with the other already applied.
     """
     cfg = base_config(base, **overrides).replace(placement_index=1)
-    rows = []
-    baseline = None
-    for ratio in ratios:
-        for policy in (Policy.FIFO, Policy.TLS_ONE):
-            res = _run_compressed(cfg.replace(policy=policy), ratio)
-            if baseline is None:
-                baseline = res.avg_jct
-            rows.append(
-                (f"{1 / ratio:.0f}x" if ratio < 1 else "none",
-                 policy.value, res.avg_jct, res.avg_jct / baseline)
-            )
+    grid = [
+        (ratio, policy)
+        for ratio in ratios
+        for policy in (Policy.FIFO, Policy.TLS_ONE)
+    ]
+    results = submit(
+        [Scenario(config=cfg.replace(policy=policy, compression_ratio=ratio))
+         for ratio, policy in grid],
+        campaign,
+    )
+    baseline = results[0].avg_jct
+    rows = [
+        (f"{1 / ratio:.0f}x" if ratio < 1 else "none",
+         policy.value, res.avg_jct, res.avg_jct / baseline)
+        for (ratio, policy), res in zip(grid, results)
+    ]
     return AblationResult(
         title="A9: gradient compression x TensorLights (placement #1; "
               "norm vs uncompressed FIFO)",
         headers=["Compression", "Policy", "Avg JCT (s)", "Norm JCT"],
         rows=rows,
-    )
-
-
-def _run_compressed(cfg: ExperimentConfig, ratio: float) -> ExperimentResult:
-    from repro.cluster import Cluster
-    from repro.dl import DLApplication, JobSpec
-    from repro.dl.model_zoo import get_model
-    from repro.net.link import Link
-    from repro.sim import Simulator
-    from repro.tensorlights import TensorLights, TLMode
-
-    sim = Simulator(seed=cfg.seed)
-    cluster = Cluster(
-        sim, n_hosts=cfg.n_hosts, cores_per_host=cfg.cores_per_host,
-        link=Link(rate=cfg.link_rate), segment_bytes=cfg.segment_bytes,
-        window_segments=cfg.window_segments, window_jitter=cfg.window_jitter,
-        switch_buffer_bytes=cfg.switch_buffer_bytes, rto=cfg.rto,
-    )
-    scheduler = ClusterScheduler(cluster.host_ids)
-    ps_hosts = scheduler.ps_hosts_for_placement(cfg.placement())
-    model = get_model(cfg.model)
-    controller = None
-    if cfg.policy in (Policy.TLS_ONE, Policy.TLS_RR):
-        controller = TensorLights(
-            cluster,
-            mode=TLMode.ONE if cfg.policy == Policy.TLS_ONE else TLMode.RR,
-            interval=cfg.tls_interval, max_bands=cfg.max_bands,
-        )
-    apps = []
-    for j in range(cfg.n_jobs):
-        spec = JobSpec(
-            job_id=f"job{j:02d}", model=model, n_workers=cfg.n_workers,
-            local_batch_size=cfg.local_batch_size,
-            target_global_steps=cfg.target_global_steps,
-            arrival_time=j * cfg.launch_stagger,
-            compute_jitter_sigma=cfg.compute_jitter_sigma,
-            compression_ratio=ratio,
-        )
-        workers = scheduler.worker_hosts(ps_hosts[j], cfg.n_workers)
-        app = DLApplication(spec, cluster, ps_hosts[j], workers)
-        if controller is not None:
-            controller.attach(app)
-        apps.append(app)
-    for app in apps:
-        app.launch()
-    sim.run()
-    return ExperimentResult(
-        config=cfg,
-        jcts={a.spec.job_id: a.metrics.jct for a in apps},
-        metrics={a.spec.job_id: a.metrics for a in apps},
-        ps_host_of_job={a.spec.job_id: a.ps_host_id for a in apps},
-        makespan=max(a.metrics.end_time for a in apps),
-        sim_events=sim.steps_executed,
     )
 
 
@@ -541,58 +465,35 @@ def adaptive(
     """A10: adaptive (contention-triggered) TensorLights vs static.
 
     The adaptive controller should match static TLs-One's JCT while
-    issuing tc state only when the NIC is actually congested.
+    issuing tc state only when the NIC is actually congested.  Controller
+    construction is an in-process hook, so this ablation runs through the
+    runtime layer (no campaign parallelism).
     """
-    from repro.cluster import Cluster
-    from repro.dl import DLApplication, JobSpec
-    from repro.dl.model_zoo import get_model
-    from repro.net.link import Link
-    from repro.sim import Simulator
     from repro.tensorlights import AdaptiveTensorLights, TensorLights, TLMode
 
     cfg = base_config(base, **overrides).replace(placement_index=1)
 
+    factories = {
+        "fifo": None,
+        "static": lambda cluster, config: TensorLights(
+            cluster, mode=TLMode.ONE, max_bands=config.max_bands
+        ),
+        "adaptive": lambda cluster, config: AdaptiveTensorLights(
+            cluster, mode=TLMode.ONE, max_bands=config.max_bands,
+            check_interval=0.5
+        ),
+    }
+
     def run(controller_kind):
-        sim = Simulator(seed=cfg.seed)
-        cluster = Cluster(
-            sim, n_hosts=cfg.n_hosts, cores_per_host=cfg.cores_per_host,
-            link=Link(rate=cfg.link_rate), segment_bytes=cfg.segment_bytes,
-            window_segments=cfg.window_segments,
-            window_jitter=cfg.window_jitter,
-            switch_buffer_bytes=cfg.switch_buffer_bytes, rto=cfg.rto,
+        factory = factories[controller_kind]
+        rt = materialize(
+            Scenario(config=cfg, tags=(("controller", controller_kind),)),
+            controller_factory=factory if factory is not None
+            else (lambda cluster, config: None),
         )
-        scheduler = ClusterScheduler(cluster.host_ids)
-        ps_hosts = scheduler.ps_hosts_for_placement(cfg.placement())
-        model = get_model(cfg.model)
-        if controller_kind == "static":
-            controller = TensorLights(cluster, mode=TLMode.ONE,
-                                      max_bands=cfg.max_bands)
-        elif controller_kind == "adaptive":
-            controller = AdaptiveTensorLights(cluster, mode=TLMode.ONE,
-                                              max_bands=cfg.max_bands,
-                                              check_interval=0.5)
-        else:
-            controller = None
-        apps = []
-        for j in range(cfg.n_jobs):
-            spec = JobSpec(
-                job_id=f"job{j:02d}", model=model, n_workers=cfg.n_workers,
-                local_batch_size=cfg.local_batch_size,
-                target_global_steps=cfg.target_global_steps,
-                arrival_time=j * cfg.launch_stagger,
-                compute_jitter_sigma=cfg.compute_jitter_sigma,
-            )
-            workers = scheduler.worker_hosts(ps_hosts[j], cfg.n_workers)
-            app = DLApplication(spec, cluster, ps_hosts[j], workers)
-            if controller is not None:
-                controller.attach(app)
-            apps.append(app)
-        for app in apps:
-            app.launch()
-        sim.run()
-        jcts = [a.metrics.jct for a in apps]
-        reconf = controller.reconfigurations if controller else 0
-        return sum(jcts) / len(jcts), reconf
+        res = rt.run()
+        reconf = rt.controller.reconfigurations if rt.controller else 0
+        return res.avg_jct, reconf
 
     rows = []
     fifo_jct, _ = run("fifo")

@@ -1,0 +1,311 @@
+"""The Campaign layer: execute scenario lists with executors and a cache.
+
+A :class:`Campaign` owns the *how* of running many scenarios — which
+executor drives them (in-process serial by default, a
+``ProcessPoolExecutor`` fan-out with :class:`ParallelExecutor`) and
+whether results come from / go to a content-addressed on-disk
+:class:`ResultCache`.  The figure generators, ablations, sweeps, CLI and
+benchmarks all build scenario lists and submit them here, so one
+``Campaign(executor=ParallelExecutor(8), cache=ResultCache(path))``
+parallelizes and incrementalizes the whole paper reproduction.
+
+Default behaviour (no executor, no cache) is deterministic and
+byte-identical to running :func:`repro.experiments.runner.run_experiment`
+in a loop; the simulation itself is deterministic in the scenario, which
+is also what makes parallel execution and caching sound: the same
+scenario key always denotes the same result.
+
+Example::
+
+    scenarios = [Scenario(cfg.replace(placement_index=i)) for i in (1, 4, 8)]
+    campaign = Campaign(executor=ParallelExecutor(max_workers=4),
+                        cache=ResultCache.default())
+    results = campaign.run(scenarios).results   # aligned with scenarios
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.experiments.export import result_from_full_dict, result_to_full_dict
+from repro.experiments.runtime import ExperimentResult, execute_scenario
+from repro.experiments.scenario import Scenario
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """Where the result cache lives unless told otherwise.
+
+    ``$REPRO_CACHE_DIR`` when set, else ``~/.cache/tensorlights-repro``.
+    """
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "tensorlights-repro"
+
+
+class ResultCache:
+    """Content-addressed on-disk cache of experiment results.
+
+    One JSON file per scenario, named by :meth:`Scenario.key` (a SHA-256
+    over everything that affects execution), so re-running a figure only
+    simulates what changed.  Invalidate by deleting files, calling
+    :meth:`clear`, or bumping ``SCENARIO_SCHEMA`` (which changes every
+    key).  Writes are atomic (tempfile + rename), so a killed run never
+    leaves a truncated entry behind.
+    """
+
+    def __init__(self, path: Optional[os.PathLike] = None) -> None:
+        self.path = Path(path) if path is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def default(cls) -> "ResultCache":
+        """A cache at :func:`default_cache_dir`."""
+        return cls()
+
+    def _entry(self, scenario: Scenario) -> Path:
+        return self.path / f"{scenario.key()}.json"
+
+    def get(self, scenario: Scenario) -> Optional[ExperimentResult]:
+        """The cached result for this scenario, or ``None`` on a miss.
+
+        Unreadable or stale-schema entries count as misses (and will be
+        overwritten on :meth:`put`), never as errors.
+        """
+        entry = self._entry(scenario)
+        try:
+            data = json.loads(entry.read_text())
+            result = result_from_full_dict(data["result"])
+        except (OSError, ValueError, KeyError, ConfigError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, scenario: Scenario, result: ExperimentResult) -> Path:
+        """Store one result (atomic write); returns the entry path."""
+        self.path.mkdir(parents=True, exist_ok=True)
+        entry = self._entry(scenario)
+        payload = {
+            "scenario": scenario.to_dict(),
+            "result": result_to_full_dict(result),
+        }
+        tmp = entry.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(entry)
+        return entry
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns how many were removed."""
+        removed = 0
+        if self.path.is_dir():
+            for entry in self.path.glob("*.json"):
+                entry.unlink()
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return len(list(self.path.glob("*.json"))) if self.path.is_dir() else 0
+
+
+class SerialExecutor:
+    """Run scenarios one after another in this process (the default).
+
+    Deterministic and dependency-free — byte-identical to the historical
+    ``for cfg in grid: run_experiment(cfg)`` loop.
+    """
+
+    max_workers = 1
+
+    def map(
+        self, scenarios: Sequence[Tuple[int, Scenario]]
+    ) -> Iterator[Tuple[int, ExperimentResult]]:
+        """Yield ``(index, result)`` in submission order."""
+        for index, scenario in scenarios:
+            yield index, execute_scenario(scenario)
+
+
+class ParallelExecutor:
+    """Fan scenarios out over a ``ProcessPoolExecutor``.
+
+    Results are identical to serial execution: each worker process runs
+    the same deterministic simulation and ships a plain-data
+    :class:`ExperimentResult` back.  Completion order is load-dependent;
+    the campaign realigns results to scenario order.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers or os.cpu_count() or 1
+
+    def map(
+        self, scenarios: Sequence[Tuple[int, Scenario]]
+    ) -> Iterator[Tuple[int, ExperimentResult]]:
+        """Yield ``(index, result)`` as workers complete."""
+        if not scenarios:
+            return
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            pending = {
+                pool.submit(execute_scenario, scenario): index
+                for index, scenario in scenarios
+            }
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = pending.pop(future)
+                    yield index, future.result()
+
+
+@dataclass(frozen=True)
+class CampaignEvent:
+    """One progress notification (see ``Campaign(progress=...)``).
+
+    ``status`` is ``"cached"`` (served from the result cache),
+    ``"running"`` (submitted to the executor) or ``"done"`` (result in
+    hand).  ``completed``/``total`` count scenarios with results so far.
+    """
+
+    status: str
+    index: int
+    completed: int
+    total: int
+    scenario: Scenario
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished campaign produced.
+
+    ``results`` is aligned with the submitted scenario list, so callers
+    regroup by position or by scenario tags.
+    """
+
+    scenarios: List[Scenario]
+    results: List[ExperimentResult]
+    cache_hits: int = 0
+    executed: int = 0
+    wall_seconds: float = 0.0
+
+    def __iter__(self) -> Iterator[ExperimentResult]:
+        return iter(self.results)
+
+    def pairs(self) -> List[Tuple[Scenario, ExperimentResult]]:
+        """``(scenario, result)`` pairs in submission order."""
+        return list(zip(self.scenarios, self.results))
+
+    def by_tag(self, name: str) -> Dict[str, List[ExperimentResult]]:
+        """Group results by the value of one scenario tag."""
+        out: Dict[str, List[ExperimentResult]] = {}
+        for scenario, result in self.pairs():
+            value = scenario.tag(name)
+            if value is not None:
+                out.setdefault(value, []).append(result)
+        return out
+
+
+ProgressCallback = Callable[[CampaignEvent], None]
+
+
+class Campaign:
+    """Executes scenario lists via a pluggable executor and result cache.
+
+    Args:
+        executor: :class:`SerialExecutor` (default) or
+            :class:`ParallelExecutor`.
+        cache: a :class:`ResultCache`; ``None`` disables caching.
+        progress: called with a :class:`CampaignEvent` per state change —
+            the CLI renders these as progress lines.
+
+    One campaign object is reusable: the CLI builds a single campaign
+    from its flags and passes it through every figure generator.
+    """
+
+    def __init__(
+        self,
+        executor: Optional[SerialExecutor] = None,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.cache = cache
+        self.progress = progress
+
+    def run(self, scenarios: Iterable[Scenario]) -> CampaignResult:
+        """Run every scenario, serving cache hits without simulating.
+
+        Duplicate scenarios (same content key) are simulated once even
+        without a cache; both positions receive the same result object.
+        """
+        wall_start = time.perf_counter()
+        scenario_list = list(scenarios)
+        total = len(scenario_list)
+        results: List[Optional[ExperimentResult]] = [None] * total
+        completed = 0
+
+        def emit(status: str, index: int) -> None:
+            if self.progress is not None:
+                self.progress(CampaignEvent(
+                    status=status, index=index, completed=completed,
+                    total=total, scenario=scenario_list[index],
+                ))
+
+        # Phase 1: serve cache hits and dedupe identical scenarios.
+        to_run: List[Tuple[int, Scenario]] = []
+        first_of_key: Dict[str, int] = {}
+        duplicates: Dict[int, List[int]] = {}
+        for index, scenario in enumerate(scenario_list):
+            key = scenario.key()
+            if key in first_of_key:
+                duplicates.setdefault(first_of_key[key], []).append(index)
+                continue
+            cached = self.cache.get(scenario) if self.cache is not None else None
+            if cached is not None:
+                results[index] = cached
+                completed += 1
+                first_of_key[key] = index
+                emit("cached", index)
+                continue
+            first_of_key[key] = index
+            to_run.append((index, scenario))
+            emit("running", index)
+
+        # Phase 2: execute the misses through the pluggable executor.
+        cache_hits = completed
+        for index, result in self.executor.map(to_run):
+            results[index] = result
+            completed += 1
+            if self.cache is not None:
+                self.cache.put(scenario_list[index], result)
+            emit("done", index)
+
+        # Phase 3: fan results out to duplicate positions.
+        for index, dup_indices in duplicates.items():
+            for dup in dup_indices:
+                results[dup] = results[index]
+                completed += 1
+                emit("done", dup)
+
+        assert all(r is not None for r in results)
+        return CampaignResult(
+            scenarios=scenario_list,
+            results=results,  # type: ignore[arg-type]
+            cache_hits=cache_hits,
+            executed=len(to_run),
+            wall_seconds=time.perf_counter() - wall_start,
+        )
+
+    def run_one(self, scenario: Scenario) -> ExperimentResult:
+        """Convenience: run a single scenario (cache-aware)."""
+        return self.run([scenario]).results[0]

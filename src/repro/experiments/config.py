@@ -51,6 +51,10 @@ class ExperimentConfig:
     launch_stagger: float = 0.1     # paper: 0.1 s between job launches
     compute_jitter_sigma: float = 0.05
     sync: bool = True
+    #: PS shards per job (paper §III's general case; ablation A8)
+    n_ps: int = 1
+    #: fraction of update bytes actually sent (1.0 = uncompressed; A9)
+    compression_ratio: float = 1.0
 
     # placement
     placement_index: int = 1        # Table I index
@@ -89,6 +93,10 @@ class ExperimentConfig:
             raise ConfigError("iterations must be >= 1")
         if self.link_gbps <= 0:
             raise ConfigError("link_gbps must be positive")
+        if self.n_ps < 1:
+            raise ConfigError("n_ps must be >= 1")
+        if not 0.0 < self.compression_ratio <= 1.0:
+            raise ConfigError("compression_ratio must be in (0, 1]")
 
     # -- derived -----------------------------------------------------------
 

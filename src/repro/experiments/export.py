@@ -8,26 +8,21 @@ objects into stable, documented schemas.
 from __future__ import annotations
 
 import csv
-import dataclasses
 import io
 import json
 from typing import Any, Dict, Iterable, List, Mapping
 
 import numpy as np
 
+from repro.dl.metrics import BarrierSeries, JobMetrics
 from repro.errors import ConfigError
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.runner import ExperimentResult, HostSamples
+from repro.experiments.scenario import config_from_dict, config_to_dict
+from repro.telemetry.sampler import SampleSeries
 
 #: Schema version written into every export, bumped on breaking changes.
 SCHEMA_VERSION = 1
-
-
-def config_to_dict(config: ExperimentConfig) -> Dict[str, Any]:
-    """A JSON-safe dict of every config field."""
-    out = dataclasses.asdict(config)
-    out["policy"] = config.policy.value
-    return out
 
 
 def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
@@ -120,6 +115,112 @@ def to_csv(results: Iterable[ExperimentResult]) -> str:
                 ]
             )
     return buf.getvalue()
+
+
+# -- full-fidelity round-trip (result cache) -------------------------------
+
+#: Schema of the lossless result serialization used by the campaign cache.
+FULL_SCHEMA_VERSION = 1
+
+
+def _series_to_dict(series: SampleSeries) -> Dict[str, List[float]]:
+    return {"times": list(series.times), "values": list(series.values)}
+
+
+def _series_from_dict(data: Mapping[str, Any]) -> SampleSeries:
+    return SampleSeries(times=list(data["times"]), values=list(data["values"]))
+
+
+def _metrics_to_dict(m: JobMetrics) -> Dict[str, Any]:
+    return {
+        "job_id": m.job_id,
+        "n_workers": m.n_workers,
+        "arrival_time": m.arrival_time,
+        "start_time": m.start_time,
+        "end_time": m.end_time,
+        "iterations_done": m.iterations_done,
+        "local_steps": dict(m.local_steps),
+        # iteration -> list of per-worker waits (JSON keys are strings)
+        "barrier_waits": {str(i): list(w) for i, w in m.barriers._waits.items()},
+    }
+
+
+def _metrics_from_dict(data: Mapping[str, Any]) -> JobMetrics:
+    barriers = BarrierSeries(int(data["n_workers"]))
+    barriers._waits = {
+        int(i): [float(x) for x in waits]
+        for i, waits in data["barrier_waits"].items()
+    }
+    return JobMetrics(
+        job_id=data["job_id"],
+        n_workers=int(data["n_workers"]),
+        arrival_time=float(data["arrival_time"]),
+        start_time=float(data["start_time"]),
+        end_time=float(data["end_time"]),
+        iterations_done=int(data["iterations_done"]),
+        local_steps={k: int(v) for k, v in data["local_steps"].items()},
+        barriers=barriers,
+    )
+
+
+def result_to_full_dict(result: ExperimentResult) -> Dict[str, Any]:
+    """Losslessly flatten one run for the campaign result cache.
+
+    Unlike :func:`result_to_dict` (a summary for downstream plotting),
+    this preserves every measurement — per-barrier wait samples and host
+    utilization series included — so :func:`result_from_full_dict` gives
+    back an :class:`ExperimentResult` that answers every query the
+    original did (JSON floats round-trip exactly).
+    """
+    return {
+        "full_schema_version": FULL_SCHEMA_VERSION,
+        "config": config_to_dict(result.config),
+        "jcts": dict(result.jcts),
+        "ps_host_of_job": dict(result.ps_host_of_job),
+        "metrics": {j: _metrics_to_dict(m) for j, m in result.metrics.items()},
+        "samplers": {
+            h: {
+                "cpu": _series_to_dict(s.cpu),
+                "net_in": _series_to_dict(s.net_in),
+                "net_out": _series_to_dict(s.net_out),
+            }
+            for h, s in result.samplers.items()
+        },
+        "makespan": result.makespan,
+        "sim_events": result.sim_events,
+        "wall_seconds": result.wall_seconds,
+        "tc_commands": list(result.tc_commands),
+        "host_ids": list(result.host_ids),
+    }
+
+
+def result_from_full_dict(data: Mapping[str, Any]) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from :func:`result_to_full_dict`."""
+    version = data.get("full_schema_version")
+    if version != FULL_SCHEMA_VERSION:
+        raise ConfigError(
+            f"unsupported full-result schema {version!r} "
+            f"(this build reads {FULL_SCHEMA_VERSION})"
+        )
+    return ExperimentResult(
+        config=config_from_dict(data["config"]),
+        jcts={k: float(v) for k, v in data["jcts"].items()},
+        metrics={j: _metrics_from_dict(m) for j, m in data["metrics"].items()},
+        ps_host_of_job=dict(data["ps_host_of_job"]),
+        samplers={
+            h: HostSamples(
+                cpu=_series_from_dict(s["cpu"]),
+                net_in=_series_from_dict(s["net_in"]),
+                net_out=_series_from_dict(s["net_out"]),
+            )
+            for h, s in data["samplers"].items()
+        },
+        makespan=float(data["makespan"]),
+        sim_events=int(data["sim_events"]),
+        wall_seconds=float(data["wall_seconds"]),
+        tc_commands=list(data["tc_commands"]),
+        host_ids=list(data["host_ids"]),
+    )
 
 
 def from_json(text: str) -> List[Dict[str, Any]]:

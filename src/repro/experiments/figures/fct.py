@@ -15,16 +15,12 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.cluster import Cluster, ClusterScheduler
-from repro.dl import DLApplication, JobSpec
-from repro.dl.model_zoo import get_model
 from repro.experiments.config import ExperimentConfig, Policy
 from repro.experiments.figures.common import base_config
 from repro.experiments.report import TextTable
-from repro.net.link import Link
-from repro.sim import Simulator
+from repro.experiments.runtime import materialize
+from repro.experiments.scenario import Scenario
 from repro.telemetry.flows import FlowCollector
-from repro.tensorlights import TensorLights, TLMode
 
 
 @dataclass
@@ -58,39 +54,21 @@ class FctResult:
 
 
 def _run_with_collector(cfg: ExperimentConfig, policy: Policy) -> FlowCollector:
-    sim = Simulator(seed=cfg.seed)
-    cluster = Cluster(
-        sim, n_hosts=cfg.n_hosts, cores_per_host=cfg.cores_per_host,
-        link=Link(rate=cfg.link_rate), segment_bytes=cfg.segment_bytes,
-        window_segments=cfg.window_segments, window_jitter=cfg.window_jitter,
-        switch_buffer_bytes=cfg.switch_buffer_bytes, rto=cfg.rto,
+    """Materialize the standard scenario with an FCT collector installed.
+
+    Flow records are in-process observers (not part of the serializable
+    result), so this study uses the runtime layer directly and stays
+    serial.
+    """
+    collectors = []
+    rt = materialize(
+        Scenario(config=cfg.replace(policy=policy)),
+        on_cluster=lambda cluster: collectors.append(
+            FlowCollector.install(cluster.network)
+        ),
     )
-    collector = FlowCollector.install(cluster.network)
-    scheduler = ClusterScheduler(cluster.host_ids)
-    ps_hosts = scheduler.ps_hosts_for_placement(cfg.placement())
-    model = get_model(cfg.model)
-    controller = None
-    if policy in (Policy.TLS_ONE, Policy.TLS_RR):
-        controller = TensorLights(
-            cluster,
-            mode=TLMode.ONE if policy == Policy.TLS_ONE else TLMode.RR,
-            interval=cfg.tls_interval, max_bands=cfg.max_bands,
-        )
-    for j in range(cfg.n_jobs):
-        spec = JobSpec(
-            job_id=f"job{j:02d}", model=model, n_workers=cfg.n_workers,
-            local_batch_size=cfg.local_batch_size,
-            target_global_steps=cfg.target_global_steps,
-            arrival_time=j * cfg.launch_stagger,
-            compute_jitter_sigma=cfg.compute_jitter_sigma,
-        )
-        workers = scheduler.worker_hosts(ps_hosts[j], cfg.n_workers)
-        app = DLApplication(spec, cluster, ps_hosts[j], workers)
-        if controller is not None:
-            controller.attach(app)
-        app.launch()
-    sim.run()
-    return collector
+    rt.run()
+    return collectors[0]
 
 
 def generate(base: Optional[ExperimentConfig] = None, **overrides) -> FctResult:

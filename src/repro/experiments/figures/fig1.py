@@ -12,13 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.cluster import Cluster
-from repro.dl import DLApplication, JobSpec
-from repro.dl.model_zoo import get_model
+from repro.cluster.placement import PlacementSpec
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures.common import base_config
-from repro.net.link import Link
-from repro.sim import Simulator
+from repro.experiments.runtime import materialize
+from repro.experiments.scenario import Scenario
 
 
 @dataclass(frozen=True)
@@ -86,25 +84,22 @@ def generate(
 ) -> Fig1Result:
     """Trace a small PS job and return its Figure-1 message sequence."""
     cfg = base_config(base, **overrides)
-    sim = Simulator(seed=cfg.seed, trace=True)
-    sim.trace.kinds = {"msg_recv"}
-    cluster = Cluster(
-        sim, n_hosts=n_workers + 1, link=Link(rate=cfg.link_rate),
-        segment_bytes=cfg.segment_bytes,
+    # One job, one PS host, fluid network (no switch losses, no window
+    # jitter) — Figure 1 is the protocol schematic, not a contention study.
+    scenario = Scenario(
+        config=cfg.replace(
+            n_jobs=1, n_workers=n_workers, iterations=iterations,
+            window_jitter=0.0, switch_buffer_bytes=None, rto=0.2,
+        ),
+        placement=PlacementSpec((1,)),
+        tags=(("figure", "1"),),
     )
-    spec = JobSpec(
-        "fig1", get_model(cfg.model), n_workers=n_workers,
-        local_batch_size=cfg.local_batch_size,
-        target_global_steps=iterations * n_workers,
-        compute_jitter_sigma=cfg.compute_jitter_sigma,
-    )
-    hosts = cluster.host_ids
-    app = DLApplication(spec, cluster, ps_host=hosts[0], worker_hosts=hosts[1:])
+    rt = materialize(scenario, trace_kinds={"msg_recv"})
+    sim, app = rt.sim, rt.apps[0]
     worker_addr = {
         (ep.host_id, ep.port): i for i, ep in enumerate(app.worker_endpoints)
     }
-    app.launch()
-    sim.run()
+    rt.run()
 
     events: List[TraceEvent] = []
     for rec in sim.trace.of_kind("msg_recv"):

@@ -11,10 +11,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.normalize import performance_gap
+from repro.experiments.campaign import Campaign
 from repro.experiments.config import ExperimentConfig, Policy
-from repro.experiments.figures.common import base_config
+from repro.experiments.figures.common import base_config, submit
 from repro.experiments.report import TextTable, render_scatter_summary
-from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.scenario import Scenario
 
 DEFAULT_PLACEMENTS = (1, 2, 3, 4, 5, 6, 7, 8)
 
@@ -64,11 +66,14 @@ class Fig2Result:
 def generate(
     base: Optional[ExperimentConfig] = None,
     placements: Sequence[int] = DEFAULT_PLACEMENTS,
+    campaign: Optional[Campaign] = None,
     **overrides,
 ) -> Fig2Result:
     """Run the placements under FIFO and collect per-placement JCTs."""
     cfg = base_config(base, **overrides).replace(policy=Policy.FIFO)
-    results = {
-        idx: run_experiment(cfg.replace(placement_index=idx)) for idx in placements
-    }
-    return Fig2Result(results=results)
+    scenarios = [
+        Scenario(config=cfg.replace(placement_index=idx)).with_tags(placement=idx)
+        for idx in placements
+    ]
+    results = submit(scenarios, campaign)
+    return Fig2Result(results=dict(zip(placements, results)))

@@ -12,10 +12,12 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.experiments.campaign import Campaign
 from repro.experiments.config import ExperimentConfig, Policy
-from repro.experiments.figures.common import base_config
+from repro.experiments.figures.common import base_config, submit
 from repro.experiments.report import render_cdf
-from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.scenario import Scenario
 
 
 @dataclass
@@ -74,11 +76,14 @@ class Fig3Result:
 def generate(
     base: Optional[ExperimentConfig] = None,
     placements: Tuple[int, int] = (1, 8),
+    campaign: Optional[Campaign] = None,
     **overrides,
 ) -> Fig3Result:
     """Run the two placements under FIFO and collect barrier waits."""
     cfg = base_config(base, **overrides).replace(policy=Policy.FIFO)
-    results = {
-        idx: run_experiment(cfg.replace(placement_index=idx)) for idx in placements
-    }
-    return Fig3Result(results=results)
+    scenarios = [
+        Scenario(config=cfg.replace(placement_index=idx)).with_tags(placement=idx)
+        for idx in placements
+    ]
+    results = submit(scenarios, campaign)
+    return Fig3Result(results=dict(zip(placements, results)))

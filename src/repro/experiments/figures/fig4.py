@@ -17,15 +17,12 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.cluster import Cluster
-from repro.dl import DLApplication, JobSpec
-from repro.dl.model_zoo import get_model
+from repro.cluster.placement import PlacementSpec
 from repro.experiments.config import ExperimentConfig, Policy
 from repro.experiments.figures.common import base_config
 from repro.experiments.report import TextTable
-from repro.net.link import Link
-from repro.sim import Simulator
-from repro.tensorlights import TensorLights, TLMode
+from repro.experiments.runtime import materialize
+from repro.experiments.scenario import Scenario
 
 
 @dataclass
@@ -86,44 +83,20 @@ class Fig4Result:
 
 
 def _observe(policy: Policy, cfg: ExperimentConfig, observe_iteration: int):
-    sim = Simulator(seed=cfg.seed, trace=True)
-    sim.trace.kinds = {"msg_recv"}
-    cluster = Cluster(
-        sim,
-        n_hosts=cfg.n_workers + 1,
-        cores_per_host=cfg.cores_per_host,
-        link=Link(rate=cfg.link_rate),
-        segment_bytes=cfg.segment_bytes,
-        window_segments=cfg.window_segments,
-        window_jitter=cfg.window_jitter,
+    # Two jobs, both PSes on the first host, launched simultaneously —
+    # the exact collision Figure 4 illustrates — on a fluid network
+    # (no switch losses), traced at message granularity.
+    scenario = Scenario(
+        config=cfg.replace(
+            n_jobs=2, launch_stagger=0.0, policy=policy,
+            switch_buffer_bytes=None, rto=0.2,
+        ),
+        placement=PlacementSpec((2,)),
+        tags=(("figure", "4"), ("policy", policy.value)),
     )
-    model = get_model(cfg.model)
-    controller = None
-    if policy != Policy.FIFO:
-        controller = TensorLights(
-            cluster,
-            mode=TLMode.ONE if policy == Policy.TLS_ONE else TLMode.RR,
-            interval=cfg.tls_interval,
-            max_bands=cfg.max_bands,
-        )
-    hosts = cluster.host_ids
-    apps = []
-    for j in range(2):
-        spec = JobSpec(
-            f"job{j}", model, n_workers=cfg.n_workers,
-            local_batch_size=cfg.local_batch_size,
-            target_global_steps=cfg.target_global_steps,
-            arrival_time=0.0,  # simultaneous: the Figure-4 scenario
-            compute_jitter_sigma=cfg.compute_jitter_sigma,
-        )
-        app = DLApplication(spec, cluster, ps_host=hosts[0],
-                            worker_hosts=hosts[1:])
-        if controller is not None:
-            controller.attach(app)
-        apps.append(app)
-    for app in apps:
-        app.launch()
-    sim.run()
+    rt = materialize(scenario, trace_kinds={"msg_recv"})
+    sim, apps = rt.sim, rt.apps
+    rt.run()
 
     spans = []
     for app in apps:

@@ -8,15 +8,22 @@ to 16 %, and parity for placements #4 and above.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.normalize import normalized_jct
+from repro.experiments.campaign import Campaign
 from repro.experiments.config import ExperimentConfig, Policy
-from repro.experiments.figures.common import ALL_POLICIES, base_config, run_policies
+from repro.experiments.figures.common import (
+    ALL_POLICIES,
+    base_config,
+    policy_scenarios,
+    submit,
+)
 from repro.experiments.report import TextTable
 from repro.experiments.runner import ExperimentResult
+from repro.experiments.scenario import Scenario
 
 DEFAULT_PLACEMENTS = (1, 2, 3, 4, 5, 6, 7, 8)
 
@@ -75,15 +82,33 @@ class Fig5aResult:
         )
 
 
-def generate(
+def scenarios(
     base: Optional[ExperimentConfig] = None,
     placements: Sequence[int] = DEFAULT_PLACEMENTS,
     **overrides,
-) -> Fig5aResult:
-    """Run every placement under all three policies."""
+) -> List[Scenario]:
+    """The full placement x policy grid as a flat scenario list."""
     cfg = base_config(base, **overrides)
-    results = {
-        idx: run_policies(cfg.replace(placement_index=idx), ALL_POLICIES)
-        for idx in placements
-    }
+    out: List[Scenario] = []
+    for idx in placements:
+        for scenario in policy_scenarios(
+            cfg.replace(placement_index=idx), ALL_POLICIES
+        ):
+            out.append(scenario.with_tags(placement=idx))
+    return out
+
+
+def generate(
+    base: Optional[ExperimentConfig] = None,
+    placements: Sequence[int] = DEFAULT_PLACEMENTS,
+    campaign: Optional[Campaign] = None,
+    **overrides,
+) -> Fig5aResult:
+    """Run every placement under all three policies (one flat campaign)."""
+    grid = scenarios(base, placements, **overrides)
+    flat = submit(grid, campaign)
+    results: Dict[int, Dict[Policy, ExperimentResult]] = {}
+    for scenario, result in zip(grid, flat):
+        idx = int(scenario.tag("placement"))
+        results.setdefault(idx, {})[Policy(scenario.tag("policy"))] = result
     return Fig5aResult(results=results)

@@ -14,8 +14,14 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro.analysis.normalize import normalized_jct
+from repro.experiments.campaign import Campaign
 from repro.experiments.config import ExperimentConfig, Policy
-from repro.experiments.figures.common import ALL_POLICIES, base_config, run_policies
+from repro.experiments.figures.common import (
+    ALL_POLICIES,
+    base_config,
+    policy_scenarios,
+    submit,
+)
 from repro.experiments.report import TextTable
 from repro.experiments.runner import ExperimentResult
 
@@ -61,12 +67,21 @@ class Fig5bResult:
 def generate(
     base: Optional[ExperimentConfig] = None,
     batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+    campaign: Optional[Campaign] = None,
     **overrides,
 ) -> Fig5bResult:
     """Sweep the local batch size at placement #1 under all policies."""
     cfg = base_config(base, **overrides).replace(placement_index=1)
-    results = {
-        batch: run_policies(cfg.replace(local_batch_size=batch), ALL_POLICIES)
+    grid = [
+        scenario.with_tags(batch=batch)
         for batch in batch_sizes
-    }
+        for scenario in policy_scenarios(
+            cfg.replace(local_batch_size=batch), ALL_POLICIES
+        )
+    ]
+    flat = submit(grid, campaign)
+    results: Dict[int, Dict[Policy, ExperimentResult]] = {}
+    for scenario, result in zip(grid, flat):
+        batch = int(scenario.tag("batch"))
+        results.setdefault(batch, {})[Policy(scenario.tag("policy"))] = result
     return Fig5bResult(results=results)

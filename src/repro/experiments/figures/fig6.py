@@ -14,6 +14,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.experiments.campaign import Campaign
 from repro.experiments.config import ExperimentConfig, Policy
 from repro.experiments.figures.common import ALL_POLICIES, base_config, run_policies
 from repro.experiments.report import render_cdf
@@ -66,8 +67,10 @@ class Fig6Result:
 
 
 def generate(
-    base: Optional[ExperimentConfig] = None, **overrides
+    base: Optional[ExperimentConfig] = None,
+    campaign: Optional[Campaign] = None,
+    **overrides,
 ) -> Fig6Result:
     """Run placement #1 under all three policies."""
     cfg = base_config(base, **overrides).replace(placement_index=1)
-    return Fig6Result(results=run_policies(cfg, ALL_POLICIES))
+    return Fig6Result(results=run_policies(cfg, ALL_POLICIES, campaign))

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro.experiments.campaign import Campaign
 from repro.experiments.config import ExperimentConfig, Policy
 from repro.experiments.figures.common import ALL_POLICIES, base_config, run_policies
 from repro.experiments.report import TextTable
@@ -75,13 +76,14 @@ class Table2Result:
 def generate(
     base: Optional[ExperimentConfig] = None,
     window: Optional[ActiveWindow] = None,
+    campaign: Optional[Campaign] = None,
     **overrides,
 ) -> Table2Result:
     """Run placement #1 with telemetry under all three policies."""
     cfg = base_config(base, **overrides).replace(
         placement_index=1, sample_hosts=True
     )
-    results = run_policies(cfg, ALL_POLICIES)
+    results = run_policies(cfg, ALL_POLICIES, campaign)
     if window is None:
         # The paper uses a fixed window "when all concurrent jobs are
         # active" (100 s to 1250 s of a 2000+ s run).  Scaled equivalent:

@@ -1,84 +1,30 @@
-"""Builds and runs one experiment, collecting all measurements."""
+"""Backwards-compatible entry point: build and run one experiment.
+
+The monolithic runner was split into layers (PR: Scenario → Runtime →
+Campaign); this module keeps the historical surface —
+:func:`run_experiment` and :class:`ExperimentResult` — as a thin shim:
+
+* :mod:`repro.experiments.scenario` — declarative, picklable run specs;
+* :mod:`repro.experiments.runtime` — materializes scenarios, owns
+  :class:`ExperimentResult`;
+* :mod:`repro.experiments.campaign` — executes scenario lists with
+  pluggable (serial/parallel) executors and an on-disk result cache.
+"""
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Optional
 
-import numpy as np
-
-from repro.cluster import Cluster, ClusterScheduler
 from repro.cluster.placement import PlacementSpec
-from repro.dl import DLApplication, JobSpec
-from repro.dl.metrics import JobMetrics
-from repro.dl.model_zoo import get_model
-from repro.errors import ConfigError
-from repro.experiments.config import ExperimentConfig, Policy
-from repro.net.link import Link
-from repro.sim import Simulator
-from repro.telemetry import ActiveWindow, HostSampler, window_mean
-from repro.tensorlights import TensorLights, TLMode
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runtime import (  # noqa: F401  (re-exports)
+    ExperimentResult,
+    HostSamples,
+    execute_scenario,
+)
+from repro.experiments.scenario import Scenario
 
-
-@dataclass
-class ExperimentResult:
-    """Measurements of one run."""
-
-    config: ExperimentConfig
-    jcts: Dict[str, float]                    # job_id -> JCT
-    metrics: Dict[str, JobMetrics]            # job_id -> full metrics
-    ps_host_of_job: Dict[str, str]            # job_id -> PS host id
-    samplers: Dict[str, HostSampler] = field(default_factory=dict)
-    makespan: float = 0.0                     # launch of first to end of last
-    sim_events: int = 0
-    wall_seconds: float = 0.0
-    tc_commands: List[str] = field(default_factory=list)
-
-    @property
-    def avg_jct(self) -> float:
-        return float(np.mean(list(self.jcts.values())))
-
-    @property
-    def ps_hosts(self) -> List[str]:
-        """Hosts running at least one PS."""
-        return sorted(set(self.ps_host_of_job.values()))
-
-    def worker_only_hosts(self) -> List[str]:
-        """Hosts that run workers but no PS."""
-        all_hosts = {f"h{i:02d}" for i in range(self.config.n_hosts)}
-        return sorted(all_hosts - set(self.ps_hosts))
-
-    # -- barrier wait aggregation (Figures 3 and 6) ---------------------------
-
-    def barrier_wait_means(self) -> np.ndarray:
-        """Per-barrier average waits, pooled over all jobs."""
-        return np.concatenate(
-            [m.barriers.per_barrier_mean() for m in self.metrics.values()]
-        )
-
-    def barrier_wait_variances(self) -> np.ndarray:
-        """Per-barrier wait variances, pooled over all jobs."""
-        return np.concatenate(
-            [m.barriers.per_barrier_variance() for m in self.metrics.values()]
-        )
-
-    # -- utilization (Table II) -------------------------------------------------
-
-    def mean_utilization(
-        self, host_ids: List[str], series: str, window: ActiveWindow
-    ) -> float:
-        """Mean utilization over hosts of one kind in the active window.
-
-        ``series`` is ``"cpu"``, ``"net_in"`` or ``"net_out"``.
-        """
-        if not self.samplers:
-            raise ConfigError("run with sample_hosts=True to collect utilization")
-        vals = [
-            window_mean(getattr(self.samplers[h], series), window)
-            for h in host_ids
-        ]
-        return float(np.mean(vals))
+__all__ = ["ExperimentResult", "HostSamples", "run_experiment"]
 
 
 def run_experiment(
@@ -88,112 +34,10 @@ def run_experiment(
     """Run one experiment to completion and collect its measurements.
 
     ``placement`` overrides ``config.placement()`` when supplied (used by
-    the scheduler-policy ablation).
+    the scheduler-policy ablation).  Equivalent to executing
+    ``Scenario(config=config, placement=placement)`` through the runtime
+    layer — campaigns of more than one run should build scenarios and
+    submit them through :class:`repro.experiments.campaign.Campaign`
+    instead, which adds multi-core execution and result caching.
     """
-    wall_start = time.perf_counter()
-    sim = Simulator(seed=config.seed)
-    cluster = Cluster(
-        sim,
-        n_hosts=config.n_hosts,
-        cores_per_host=config.cores_per_host,
-        link=Link(rate=config.link_rate),
-        segment_bytes=config.segment_bytes,
-        window_segments=config.window_segments,
-        window_jitter=config.window_jitter,
-        switch_buffer_bytes=config.switch_buffer_bytes,
-        rto=config.rto,
-    )
-    spec = placement if placement is not None else config.placement()
-    if spec.n_jobs != config.n_jobs:
-        raise ConfigError(
-            f"placement covers {spec.n_jobs} jobs, config has {config.n_jobs}"
-        )
-    scheduler = ClusterScheduler(cluster.host_ids)
-    ps_hosts = scheduler.ps_hosts_for_placement(spec)
-
-    model = get_model(config.model)
-    if config.model_compute_factor != 1.0:
-        model = model.scaled(
-            f"{model.name}*{config.model_compute_factor:g}",
-            compute_factor=config.model_compute_factor,
-        )
-    controller: Optional[TensorLights] = None
-    if config.policy in (Policy.TLS_ONE, Policy.TLS_RR):
-        controller = TensorLights(
-            cluster,
-            mode=TLMode.ONE if config.policy == Policy.TLS_ONE else TLMode.RR,
-            interval=config.tls_interval,
-            max_bands=config.max_bands,
-        )
-
-    apps: List[DLApplication] = []
-    for j in range(config.n_jobs):
-        job_spec = JobSpec(
-            job_id=f"job{j:02d}",
-            model=model,
-            n_workers=config.n_workers,
-            local_batch_size=config.local_batch_size,
-            target_global_steps=config.target_global_steps,
-            sync=config.sync,
-            arrival_time=j * config.launch_stagger,
-            compute_jitter_sigma=config.compute_jitter_sigma,
-        )
-        worker_hosts = scheduler.worker_hosts(ps_hosts[j], config.n_workers)
-        app = DLApplication(job_spec, cluster, ps_hosts[j], worker_hosts)
-        if controller is not None:
-            controller.attach(app)
-        apps.append(app)
-
-    if config.policy == Policy.DRR:
-        # A4 ablation: per-flow fair queueing at contended PS hosts.
-        from collections import Counter
-
-        from repro.net.qdisc import DRRQdisc
-
-        counts = Counter(ps_hosts)
-        for host_id, n_ps in counts.items():
-            if n_ps >= 2:
-                cluster.host(host_id).nic.set_qdisc(DRRQdisc())
-
-    samplers: Dict[str, HostSampler] = {}
-    if config.sample_hosts:
-        for hid in cluster.host_ids:
-            samplers[hid] = HostSampler(
-                cluster.host(hid), interval=config.sample_interval
-            )
-            samplers[hid].start()
-
-    tc_commands = controller.render_commands() if controller is not None else []
-
-    for app in apps:
-        app.launch()
-
-    if samplers:
-        # Samplers loop forever; stop them the moment the last job ends so
-        # the event queue can drain.
-        from repro.sim.primitives import AllOf
-
-        def stop_sampling():
-            yield AllOf([a.done for a in apps])
-            for s in samplers.values():
-                s.stop()
-
-        sim.spawn(stop_sampling(), name="stop-sampling")
-
-    sim.run()
-
-    unfinished = [a.spec.job_id for a in apps if not a.metrics.finished]
-    if unfinished:
-        raise ConfigError(f"jobs did not finish: {unfinished}")
-
-    return ExperimentResult(
-        config=config,
-        jcts={a.spec.job_id: a.metrics.jct for a in apps},
-        metrics={a.spec.job_id: a.metrics for a in apps},
-        ps_host_of_job={a.spec.job_id: a.ps_host_id for a in apps},
-        samplers=samplers,
-        makespan=max(a.metrics.end_time for a in apps),
-        sim_events=sim.steps_executed,
-        wall_seconds=time.perf_counter() - wall_start,
-        tc_commands=tc_commands,
-    )
+    return execute_scenario(Scenario(config=config, placement=placement))

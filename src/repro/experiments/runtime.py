@@ -1,0 +1,314 @@
+"""The Runtime layer: materialize a Scenario into a live simulation.
+
+:func:`materialize` turns a declarative :class:`~repro.experiments.scenario.Scenario`
+into a wired :class:`Runtime` (simulator, cluster, applications, optional
+TensorLights controller); :meth:`Runtime.run` drives it to completion and
+collects a plain-data :class:`ExperimentResult`.
+
+Everything in an :class:`ExperimentResult` is picklable and JSON-friendly
+— samplers are snapshotted into :class:`HostSamples` (plain series, no
+host references) and per-job metrics are plain data — so results cross
+process boundaries (the campaign's parallel executor) and round-trip
+through the on-disk result cache.
+
+Custom studies that need mid-build access (extra qdiscs, flow collectors,
+alternative controllers, tracing) use :func:`materialize` directly with
+its hooks instead of re-building clusters by hand — see
+``experiments/figures/fct.py`` and ablation A6 for the idiom.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.cluster import Cluster, ClusterScheduler, default_host_ids
+from repro.dl import DLApplication, JobSpec
+from repro.dl.metrics import JobMetrics
+from repro.dl.model_zoo import get_model
+from repro.errors import ConfigError
+from repro.experiments.config import ExperimentConfig, Policy
+from repro.experiments.scenario import Scenario
+from repro.net.link import Link
+from repro.sim import Simulator
+from repro.telemetry import ActiveWindow, HostSampler, window_mean
+from repro.telemetry.sampler import SampleSeries
+from repro.tensorlights import TensorLights, TLMode
+
+
+@dataclass
+class HostSamples:
+    """Snapshot of one host's sampled utilization series.
+
+    Plain data (no host or simulator references), so results stay
+    picklable.  Attribute names match the ``series`` argument of
+    :meth:`ExperimentResult.mean_utilization`.
+    """
+
+    cpu: SampleSeries = field(default_factory=SampleSeries)
+    net_in: SampleSeries = field(default_factory=SampleSeries)
+    net_out: SampleSeries = field(default_factory=SampleSeries)
+
+    @classmethod
+    def snapshot(cls, sampler: HostSampler) -> "HostSamples":
+        """Detach a live sampler's series from its host."""
+        return cls(cpu=sampler.cpu, net_in=sampler.net_in,
+                   net_out=sampler.net_out)
+
+
+@dataclass
+class ExperimentResult:
+    """Measurements of one run (plain data; crosses process boundaries)."""
+
+    config: ExperimentConfig
+    jcts: Dict[str, float]                    # job_id -> JCT
+    metrics: Dict[str, JobMetrics]            # job_id -> full metrics
+    ps_host_of_job: Dict[str, str]            # job_id -> PS host id
+    samplers: Dict[str, HostSamples] = field(default_factory=dict)
+    makespan: float = 0.0                     # launch of first to end of last
+    sim_events: int = 0
+    wall_seconds: float = 0.0
+    tc_commands: List[str] = field(default_factory=list)
+    host_ids: List[str] = field(default_factory=list)  # cluster's actual ids
+
+    @property
+    def avg_jct(self) -> float:
+        return float(np.mean(list(self.jcts.values())))
+
+    @property
+    def ps_hosts(self) -> List[str]:
+        """Hosts running at least one PS."""
+        return sorted(set(self.ps_host_of_job.values()))
+
+    def worker_only_hosts(self) -> List[str]:
+        """Hosts that run workers but no PS."""
+        all_hosts = set(self.host_ids) if self.host_ids else set(
+            default_host_ids(self.config.n_hosts)
+        )
+        return sorted(all_hosts - set(self.ps_hosts))
+
+    # -- barrier wait aggregation (Figures 3 and 6) ---------------------------
+
+    def barrier_wait_means(self) -> np.ndarray:
+        """Per-barrier average waits, pooled over all jobs."""
+        return np.concatenate(
+            [m.barriers.per_barrier_mean() for m in self.metrics.values()]
+        )
+
+    def barrier_wait_variances(self) -> np.ndarray:
+        """Per-barrier wait variances, pooled over all jobs."""
+        return np.concatenate(
+            [m.barriers.per_barrier_variance() for m in self.metrics.values()]
+        )
+
+    # -- utilization (Table II) -------------------------------------------------
+
+    def mean_utilization(
+        self, host_ids: List[str], series: str, window: ActiveWindow
+    ) -> float:
+        """Mean utilization over hosts of one kind in the active window.
+
+        ``series`` is ``"cpu"``, ``"net_in"`` or ``"net_out"``.
+        """
+        if not self.samplers:
+            raise ConfigError("run with sample_hosts=True to collect utilization")
+        vals = [
+            window_mean(getattr(self.samplers[h], series), window)
+            for h in host_ids
+        ]
+        return float(np.mean(vals))
+
+
+@dataclass
+class Runtime:
+    """A materialized scenario: live simulator plus everything wired to it.
+
+    Returned by :func:`materialize`; most callers go straight to
+    :meth:`run`, custom studies poke at the members first (install extra
+    qdiscs, read ``sim.trace`` afterwards, ...).
+    """
+
+    scenario: Scenario
+    sim: Simulator
+    cluster: Cluster
+    scheduler: ClusterScheduler
+    ps_hosts: List[str]
+    apps: List[DLApplication]
+    controller: Optional[TensorLights]
+    samplers: Dict[str, HostSampler]
+    _wall_start: float
+
+    def run(self) -> ExperimentResult:
+        """Launch every job, drive the simulation dry, collect results."""
+        sim, apps, samplers = self.sim, self.apps, self.samplers
+        config = self.scenario.config
+
+        tc_commands = (
+            self.controller.render_commands() if self.controller is not None else []
+        )
+
+        for app in apps:
+            app.launch()
+
+        if samplers:
+            # Samplers loop forever; stop them the moment the last job ends
+            # so the event queue can drain.
+            from repro.sim.primitives import AllOf
+
+            def stop_sampling():
+                yield AllOf([a.done for a in apps])
+                for s in samplers.values():
+                    s.stop()
+
+            sim.spawn(stop_sampling(), name="stop-sampling")
+
+        sim.run()
+
+        unfinished = [a.spec.job_id for a in apps if not a.metrics.finished]
+        if unfinished:
+            raise ConfigError(f"jobs did not finish: {unfinished}")
+
+        return ExperimentResult(
+            config=config,
+            jcts={a.spec.job_id: a.metrics.jct for a in apps},
+            metrics={a.spec.job_id: a.metrics for a in apps},
+            ps_host_of_job={a.spec.job_id: a.ps_host_id for a in apps},
+            samplers={
+                hid: HostSamples.snapshot(s) for hid, s in samplers.items()
+            },
+            makespan=max(a.metrics.end_time for a in apps),
+            sim_events=sim.steps_executed,
+            wall_seconds=time.perf_counter() - self._wall_start,
+            tc_commands=tc_commands,
+            host_ids=self.cluster.host_ids,
+        )
+
+
+def materialize(
+    scenario: Scenario,
+    trace_kinds: Optional[Iterable[str]] = None,
+    on_cluster: Optional[Callable[[Cluster], None]] = None,
+    controller_factory: Optional[
+        Callable[[Cluster, ExperimentConfig], Optional[TensorLights]]
+    ] = None,
+) -> Runtime:
+    """Build the live simulation a scenario describes (without running it).
+
+    Args:
+        trace_kinds: enable event tracing restricted to these kinds
+            (Figure 1 and 4 message-sequence studies).
+        on_cluster: called with the freshly built cluster before any
+            application exists (install flow collectors, extra qdiscs).
+        controller_factory: overrides the policy-derived TensorLights
+            controller (e.g. :class:`AdaptiveTensorLights` in A10); it
+            may return ``None`` for no controller.  In-process hooks are
+            not part of the Scenario identity — scenarios run through the
+            cached/parallel campaign path must not rely on them.
+    """
+    config = scenario.config
+    wall_start = time.perf_counter()
+    sim = Simulator(seed=config.seed, trace=trace_kinds is not None)
+    if trace_kinds is not None:
+        sim.trace.kinds = set(trace_kinds)
+    cluster = Cluster(
+        sim,
+        n_hosts=config.n_hosts,
+        cores_per_host=config.cores_per_host,
+        link=Link(rate=config.link_rate),
+        segment_bytes=config.segment_bytes,
+        window_segments=config.window_segments,
+        window_jitter=config.window_jitter,
+        switch_buffer_bytes=config.switch_buffer_bytes,
+        rto=config.rto,
+    )
+    if on_cluster is not None:
+        on_cluster(cluster)
+    spec = scenario.placement if scenario.placement is not None else config.placement()
+    if spec.n_jobs != config.n_jobs:
+        raise ConfigError(
+            f"placement covers {spec.n_jobs} jobs, config has {config.n_jobs}"
+        )
+    scheduler = ClusterScheduler(cluster.host_ids)
+    ps_hosts = scheduler.ps_hosts_for_placement(spec)
+
+    model = get_model(config.model)
+    if config.model_compute_factor != 1.0:
+        model = model.scaled(
+            f"{model.name}*{config.model_compute_factor:g}",
+            compute_factor=config.model_compute_factor,
+        )
+    controller: Optional[TensorLights]
+    if controller_factory is not None:
+        controller = controller_factory(cluster, config)
+    elif config.policy in (Policy.TLS_ONE, Policy.TLS_RR):
+        controller = TensorLights(
+            cluster,
+            mode=TLMode.ONE if config.policy == Policy.TLS_ONE else TLMode.RR,
+            interval=config.tls_interval,
+            max_bands=config.max_bands,
+        )
+    else:
+        controller = None
+
+    apps: List[DLApplication] = []
+    for j in range(config.n_jobs):
+        job_spec = JobSpec(
+            job_id=f"job{j:02d}",
+            model=model,
+            n_workers=config.n_workers,
+            local_batch_size=config.local_batch_size,
+            target_global_steps=config.target_global_steps,
+            sync=config.sync,
+            arrival_time=j * config.launch_stagger,
+            compute_jitter_sigma=config.compute_jitter_sigma,
+            n_ps=config.n_ps,
+            compression_ratio=config.compression_ratio,
+        )
+        worker_hosts = scheduler.worker_hosts(ps_hosts[j], config.n_workers)
+        app = DLApplication(job_spec, cluster, ps_hosts[j], worker_hosts)
+        if controller is not None:
+            controller.attach(app)
+        apps.append(app)
+
+    if config.policy == Policy.DRR:
+        # A4 ablation: per-flow fair queueing at contended PS hosts.
+        from collections import Counter
+
+        from repro.net.qdisc import DRRQdisc
+
+        counts = Counter(ps_hosts)
+        for host_id, n_ps in counts.items():
+            if n_ps >= 2:
+                cluster.host(host_id).nic.set_qdisc(DRRQdisc())
+
+    samplers: Dict[str, HostSampler] = {}
+    if config.sample_hosts:
+        for hid in cluster.host_ids:
+            samplers[hid] = HostSampler(
+                cluster.host(hid), interval=config.sample_interval
+            )
+            samplers[hid].start()
+
+    return Runtime(
+        scenario=scenario,
+        sim=sim,
+        cluster=cluster,
+        scheduler=scheduler,
+        ps_hosts=ps_hosts,
+        apps=apps,
+        controller=controller,
+        samplers=samplers,
+        _wall_start=wall_start,
+    )
+
+
+def execute_scenario(scenario: Scenario) -> ExperimentResult:
+    """Materialize and run one scenario to completion.
+
+    The top-level entry point the campaign executors submit — importable
+    by name, takes and returns only picklable values.
+    """
+    return materialize(scenario).run()

@@ -1,0 +1,175 @@
+"""The Scenario layer: declarative, picklable descriptions of one run.
+
+A :class:`Scenario` fully determines one experiment — the
+:class:`~repro.experiments.config.ExperimentConfig`, an optional placement
+override, and free-form tags for regrouping results downstream.  It holds
+no live simulator state, so it crosses process boundaries (the parallel
+executor) and hashes to a stable content key (the result cache).
+
+The split is::
+
+    Scenario  (this module)   what to run        — declarative, picklable
+    Runtime   (runtime.py)    how to run it      — materializes simulators
+    Campaign  (campaign.py)   running many       — executors + result cache
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cluster.placement import PlacementSpec
+from repro.errors import ConfigError
+from repro.experiments.config import ExperimentConfig, Policy
+
+#: Bumped whenever scenario execution semantics change in a way that makes
+#: previously cached results stale (part of every cache key).
+SCENARIO_SCHEMA = 1
+
+
+def config_to_dict(config: ExperimentConfig) -> Dict[str, Any]:
+    """A JSON-safe dict of every config field (enums as their values)."""
+    out = dataclasses.asdict(config)
+    out["policy"] = config.policy.value
+    return out
+
+
+def config_from_dict(data: Mapping[str, Any]) -> ExperimentConfig:
+    """Rebuild an :class:`ExperimentConfig` from :func:`config_to_dict`.
+
+    Unknown keys are rejected — a cache entry written by a different
+    config schema must not silently deserialize into the wrong run.
+    """
+    fields = {f.name for f in dataclasses.fields(ExperimentConfig)}
+    unknown = set(data) - fields
+    if unknown:
+        raise ConfigError(f"unknown config fields {sorted(unknown)}")
+    kwargs = dict(data)
+    kwargs["policy"] = Policy(kwargs["policy"])
+    return ExperimentConfig(**kwargs)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Everything needed to reproduce one experiment run.
+
+    Attributes:
+        config: the full experiment configuration (includes the seed).
+        placement: optional override of ``config.placement()`` — used by
+            the scheduler-policy ablation (A5) and custom studies.
+        tags: free-form ``(name, value)`` labels for regrouping campaign
+            results (e.g. ``(("placement", "3"), ("policy", "tls-one"))``).
+            Tags are bookkeeping only: they do **not** affect execution
+            and do **not** enter the content key.
+    """
+
+    config: ExperimentConfig
+    placement: Optional[PlacementSpec] = None
+    tags: Tuple[Tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.placement is not None and self.placement.n_jobs != self.config.n_jobs:
+            raise ConfigError(
+                f"placement covers {self.placement.n_jobs} jobs, "
+                f"config has {self.config.n_jobs}"
+            )
+
+    # -- tags --------------------------------------------------------------
+
+    def tag(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """The value of tag ``name`` (last one wins), or ``default``."""
+        value = default
+        for k, v in self.tags:
+            if k == name:
+                value = v
+        return value
+
+    def with_tags(self, **tags: Any) -> "Scenario":
+        """A copy with extra tags appended (values stringified)."""
+        extra = tuple((k, str(v)) for k, v in tags.items())
+        return dataclasses.replace(self, tags=self.tags + extra)
+
+    @property
+    def label(self) -> str:
+        """A short human-readable identity for progress displays."""
+        if self.tags:
+            return " ".join(f"{k}={v}" for k, v in self.tags)
+        spec = self.placement
+        where = spec.describe() if spec else f"#{self.config.placement_index}"
+        return (f"placement {where} policy={self.config.policy.value} "
+                f"seed={self.config.seed}")
+
+    # -- identity ----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict (round-trips via :func:`scenario_from_dict`)."""
+        return {
+            "schema": SCENARIO_SCHEMA,
+            "config": config_to_dict(self.config),
+            "placement": list(self.placement.groups) if self.placement else None,
+            "tags": [list(t) for t in self.tags],
+        }
+
+    def key(self) -> str:
+        """Stable content hash of everything that affects execution.
+
+        Two scenarios with the same key produce bit-identical results
+        (the simulation is deterministic in the config seed), which is
+        what makes the on-disk result cache sound.  Tags are excluded.
+        """
+        payload = self.to_dict()
+        del payload["tags"]
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def scenario_from_dict(data: Mapping[str, Any]) -> Scenario:
+    """Rebuild a :class:`Scenario` from :meth:`Scenario.to_dict`."""
+    schema = data.get("schema")
+    if schema != SCENARIO_SCHEMA:
+        raise ConfigError(
+            f"unsupported scenario schema {schema!r} (this build reads "
+            f"{SCENARIO_SCHEMA})"
+        )
+    placement = data.get("placement")
+    return Scenario(
+        config=config_from_dict(data["config"]),
+        placement=PlacementSpec(tuple(placement)) if placement else None,
+        tags=tuple((str(k), str(v)) for k, v in data.get("tags", [])),
+    )
+
+
+def scenario_grid(
+    base: ExperimentConfig, axes: Mapping[str, Sequence[Any]]
+) -> List[Scenario]:
+    """The cartesian product of config overrides as a tagged scenario list.
+
+    Each axis name must be an :class:`ExperimentConfig` field; every
+    scenario is tagged with its axis values, so campaign results regroup
+    without re-deriving the product order::
+
+        scenarios = scenario_grid(cfg, {"placement_index": [1, 4, 8],
+                                        "policy": list(ALL_POLICIES)})
+    """
+    if not axes:
+        raise ConfigError("scenario_grid needs at least one axis")
+    for name, values in axes.items():
+        if not values:
+            raise ConfigError(f"axis {name!r} has no values")
+        if not hasattr(base, name):
+            raise ConfigError(f"unknown config field {name!r}")
+    names = list(axes)
+    out: List[Scenario] = []
+    for combo in itertools.product(*(axes[n] for n in names)):
+        overrides = dict(zip(names, combo))
+        cfg = base.replace(**overrides)
+        tags = tuple(
+            (n, v.value if hasattr(v, "value") else str(v))
+            for n, v in overrides.items()
+        )
+        out.append(Scenario(config=cfg, tags=tags))
+    return out

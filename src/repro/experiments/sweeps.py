@@ -24,9 +24,11 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.experiments.campaign import Campaign, CampaignEvent
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import TextTable
-from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.scenario import Scenario
 
 
 @dataclass(frozen=True)
@@ -105,13 +107,17 @@ def sweep(
     axes: Mapping[str, Sequence[Any]],
     keep_results: bool = False,
     progress: Optional[Callable[[int, int, Dict[str, Any]], None]] = None,
+    campaign: Optional[Campaign] = None,
 ) -> SweepResult:
     """Run the cartesian product of ``axes`` overrides on ``base``.
 
     Args:
         keep_results: retain full :class:`ExperimentResult` objects
             (memory-heavy for big sweeps; summaries are always kept).
-        progress: optional callback ``(i, total, overrides)`` per point.
+        progress: optional callback ``(i, total, overrides)``, fired when
+            a point starts executing (or is served from the cache).
+        campaign: run the grid through this campaign (parallel executor,
+            result cache); the default runs serially in-process.
     """
     if not axes:
         raise ConfigError("sweep needs at least one axis")
@@ -122,13 +128,31 @@ def sweep(
             raise ConfigError(f"unknown config field {name!r}")
     names = list(axes)
     combos = list(itertools.product(*(axes[n] for n in names)))
+    override_dicts = [dict(zip(names, combo)) for combo in combos]
+    scenarios = [
+        Scenario(config=base.replace(**overrides)).with_tags(
+            **{name: _fmt(value) for name, value in overrides.items()}
+        )
+        for overrides in override_dicts
+    ]
+
+    camp = campaign if campaign is not None else Campaign()
+    if progress is not None:
+        chained = camp.progress
+
+        def adapter(event: CampaignEvent) -> None:
+            if event.status in ("running", "cached"):
+                progress(event.index, len(combos),
+                         override_dicts[event.index])
+            if chained is not None:
+                chained(event)
+
+        camp = Campaign(executor=camp.executor, cache=camp.cache,
+                        progress=adapter)
+
+    full = camp.run(scenarios).results
     points: List[SweepPoint] = []
-    results: List[ExperimentResult] = []
-    for i, combo in enumerate(combos):
-        overrides = dict(zip(names, combo))
-        if progress is not None:
-            progress(i, len(combos), overrides)
-        res = run_experiment(base.replace(**overrides))
+    for overrides, res in zip(override_dicts, full):
         variances = res.barrier_wait_variances()
         points.append(
             SweepPoint(
@@ -140,6 +164,5 @@ def sweep(
                 if variances.size else 0.0,
             )
         )
-        if keep_results:
-            results.append(res)
+    results = list(full) if keep_results else []
     return SweepResult(axes=dict(axes), points=points, results=results)
