@@ -1,0 +1,62 @@
+"""Fault-injection overhead and robustness sweep benchmark.
+
+Times the robustness sweep (loss rates x policies, with a mid-run PS
+crash + checkpoint recovery) through a report-mode campaign, and pins
+the properties the layer guarantees: fault plans are deterministic
+(two runs of the same faulted scenario agree bit-for-bit), faults only
+degrade — never improve — JCT, and recovery actually completes (no
+failures in the report).
+
+Scale knobs: the usual ``REPRO_BENCH_ITERATIONS`` / ``REPRO_BENCH_SEED``.
+"""
+
+from conftest import run_once
+
+from repro.experiments.config import Policy
+from repro.experiments.figures import robustness
+from repro.experiments.runtime import execute_scenario
+from repro.experiments.scenario import Scenario
+from repro.faults import FaultPlan, PSCrash, RecoverySpec
+
+
+def test_fault_injection_sweep(benchmark, bench_config, bench_campaign):
+    cfg = bench_config.replace(iterations=max(5, bench_config.iterations // 4))
+
+    def run_sweep():
+        return robustness.generate(
+            cfg,
+            losses=(0.0, 0.01),
+            policies=(Policy.FIFO, Policy.TLS_ONE),
+            ps_crash=True,
+            campaign=bench_campaign,
+        )
+
+    result = run_once(benchmark, run_sweep)
+    print()
+    print(result.render())
+    assert not result.failures, result.failures
+    for policy in (Policy.FIFO, Policy.TLS_ONE):
+        # A crash + rewind re-runs work: JCT must not improve.
+        assert result.degradation(policy, 0.0, crashed=True) >= 1.0
+        assert result.degradation(policy, 0.01, crashed=False) >= 1.0
+
+
+def test_fault_determinism(benchmark, bench_config):
+    cfg = bench_config.replace(iterations=max(5, bench_config.iterations // 4),
+                               n_jobs=4, n_workers=4)
+    scenario = Scenario(
+        config=cfg,
+        faults=FaultPlan(
+            faults=(PSCrash(job="job00", at=0.5, recover_after=0.5),),
+            recovery=RecoverySpec(barrier_mode="proceed"),
+        ),
+    )
+
+    def run_twice():
+        return execute_scenario(scenario), execute_scenario(scenario)
+
+    first, second = run_once(benchmark, run_twice)
+    assert first.jcts == second.jcts
+    assert first.fault_events == second.fault_events
+    print(f"\nfaulted avg JCT {first.avg_jct:.3f}s "
+          f"({len(first.fault_events)} fault events, deterministic)")

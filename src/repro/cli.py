@@ -40,6 +40,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=None)
     parser.add_argument("--sample-interval", type=float, default=None,
                         help="telemetry sampling period (table2)")
+    parser.add_argument("--netem-loss", type=float, default=None,
+                        metavar="P",
+                        help="drop fraction P of egress segments at worker "
+                             "NICs (netem-style impairment)")
+    parser.add_argument("--netem-delay", type=float, default=None,
+                        metavar="S", help="add S seconds of egress delay at "
+                                          "worker NICs")
+    parser.add_argument("--netem-jitter", type=float, default=None,
+                        metavar="S", help="uniform jitter on --netem-delay")
     parser.add_argument("--paper-scale", action="store_true",
                         help="full 30000 global steps (slow)")
 
@@ -62,6 +71,9 @@ def _add_campaign(parser: argparse.ArgumentParser) -> None:
                         help="result cache at DIR (implies --cache)")
     parser.add_argument("--progress", action="store_true",
                         help="print per-experiment progress to stderr")
+    parser.add_argument("--scenario-timeout", type=float, default=None,
+                        metavar="S",
+                        help="wall-clock budget per scenario in seconds")
 
 
 def _campaign(args: argparse.Namespace) -> Campaign:
@@ -74,7 +86,10 @@ def _campaign(args: argparse.Namespace) -> Campaign:
     elif getattr(args, "cache", False):
         cache = ResultCache.default()
     progress = _print_progress if getattr(args, "progress", False) else None
-    return Campaign(executor=executor, cache=cache, progress=progress)
+    return Campaign(
+        executor=executor, cache=cache, progress=progress,
+        scenario_timeout=getattr(args, "scenario_timeout", None),
+    )
 
 
 def _print_progress(event: CampaignEvent) -> None:
@@ -99,6 +114,12 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
         overrides["seed"] = args.seed
     if getattr(args, "sample_interval", None) is not None:
         overrides["sample_interval"] = args.sample_interval
+    if getattr(args, "netem_loss", None) is not None:
+        overrides["netem_loss"] = args.netem_loss
+    if getattr(args, "netem_delay", None) is not None:
+        overrides["netem_delay"] = args.netem_delay
+    if getattr(args, "netem_jitter", None) is not None:
+        overrides["netem_jitter"] = args.netem_jitter
     return cfg.replace(**overrides) if overrides else cfg
 
 
@@ -120,7 +141,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     # Figures whose runs are independent grid points go through a Campaign;
     # fig1/fig4/fct need in-process tracing hooks and always run serial.
     campaign_commands = {"fig2", "fig3", "fig5a", "fig5b", "fig6", "table2",
-                         "run"}
+                         "robustness", "run"}
     for name in ("table1", "fig1", "fig2", "fig3", "fig4", "fig5a", "fig5b",
                  "fig6", "table2", "fct"):
         p = sub.add_parser(name, help=f"regenerate {name}")
@@ -134,6 +155,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         if name == "fig5b":
             p.add_argument("--batches", type=int, nargs="+",
                            default=[1, 2, 4, 8, 16])
+
+    p = sub.add_parser(
+        "robustness",
+        help="JCT degradation under egress loss and PS crashes, per policy",
+    )
+    _add_common(p)
+    _add_campaign(p)
+    p.add_argument("--losses", type=float, nargs="+", default=[0.0, 0.01, 0.03],
+                   help="netem loss rates to sweep (0.0 is the baseline)")
+    p.add_argument("--policies", nargs="+",
+                   choices=[pol.value for pol in Policy],
+                   default=["fifo", "tls-one", "tls-rr"])
+    p.add_argument("--ps-crash", action="store_true",
+                   help="also run each cell with a mid-run PS crash + recovery")
+    p.add_argument("--crash-at", type=float, default=0.5,
+                   help="sim time of the PS crash (with --ps-crash)")
+    p.add_argument("--crash-recover", type=float, default=0.5,
+                   help="downtime before the PS restarts from checkpoint")
 
     p = sub.add_parser("run", help="run one raw experiment")
     _add_common(p)
@@ -155,6 +194,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     cfg = _config(args)
+    if args.command == "robustness":
+        from repro.experiments.figures import robustness
+
+        result = robustness.generate(
+            cfg,
+            losses=tuple(args.losses),
+            policies=tuple(Policy(p) for p in args.policies),
+            ps_crash=args.ps_crash,
+            crash_at=args.crash_at,
+            crash_recover=args.crash_recover,
+            campaign=_campaign(args),
+        )
+        print(result.render())
+        return 0
+
     if args.command == "run":
         cfg = cfg.replace(placement_index=args.placement,
                           policy=Policy(args.policy))

@@ -46,6 +46,7 @@ class ProcessorSharingCPU:
         self._last_update = 0.0
         self._next_event = None
         self.busy_core_time = 0.0  # core-seconds of actual work done
+        self.speed = 1.0  # fault-injection straggler knob (1.0 = healthy)
 
     # -- public API -------------------------------------------------------
 
@@ -76,7 +77,19 @@ class ProcessorSharingCPU:
         n = len(self._jobs)
         if n == 0:
             return 0.0
-        return min(1.0, self.cores / n)
+        return min(1.0, self.cores / n) * self.speed
+
+    def set_speed(self, speed: float) -> None:
+        """Scale every job's service rate (fault-injection straggler).
+
+        In-progress work is advanced at the old speed up to now, then
+        completion events are re-derived at the new speed.
+        """
+        if speed <= 0:
+            raise SimulationError(f"CPU speed must be > 0, got {speed}")
+        self._advance()
+        self.speed = speed
+        self._reschedule()
 
     def utilization_snapshot(self) -> float:
         """Cumulative busy core-seconds (including work in progress)."""

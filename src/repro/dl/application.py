@@ -2,17 +2,18 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence, Union, TYPE_CHECKING
+from typing import List, Optional, Sequence, Union, TYPE_CHECKING
 
 from repro.dl.job import JobSpec
 from repro.dl.metrics import JobMetrics
 from repro.dl.tasks import PSTask, TaskEndpoint, WorkerTask
 from repro.errors import PlacementError
 from repro.sim.primitives import AllOf, Signal
-from repro.sim.process import Timeout
+from repro.sim.process import Process, Timeout
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.cluster import Cluster
+    from repro.faults.plan import RecoverySpec
 
 
 class DLApplication:
@@ -34,6 +35,7 @@ class DLApplication:
         cluster: "Cluster",
         ps_host: Union[str, Sequence[str]],
         worker_hosts: List[str],
+        recovery: Optional["RecoverySpec"] = None,
     ) -> None:
         if len(worker_hosts) != spec.n_workers:
             raise PlacementError(
@@ -55,6 +57,11 @@ class DLApplication:
             )
         self.spec = spec
         self.cluster = cluster
+        self.recovery = recovery
+        #: set by the fault injector when the job cannot finish (e.g. a
+        #: permanent PS crash); TensorLights' reconciler treats a failed
+        #: job like a departed one
+        self.failed = False
         self.metrics = JobMetrics(
             job_id=spec.job_id,
             n_workers=spec.n_workers,
@@ -74,13 +81,17 @@ class DLApplication:
             )
 
         self.ps_tasks = [
-            PSTask(spec, ep, self.worker_endpoints, self.metrics, shard_index=i)
+            PSTask(spec, ep, self.worker_endpoints, self.metrics,
+                   shard_index=i, recovery=recovery)
             for i, ep in enumerate(self.ps_endpoints)
         ]
         self.workers = [
-            WorkerTask(spec, i, ep, self.ps_endpoints, self.metrics)
+            WorkerTask(spec, i, ep, self.ps_endpoints, self.metrics,
+                       recovery=recovery)
             for i, ep in enumerate(self.worker_endpoints)
         ]
+        self.ps_procs: List[Optional[Process]] = []
+        self.worker_procs: List[Optional[Process]] = []
         for ep, ps in zip(self.ps_endpoints, self.ps_tasks):
             ep.host.add_task(ps)
         for ep, wk in zip(self.worker_endpoints, self.workers):
@@ -127,13 +138,23 @@ class DLApplication:
 
         delay = max(0.0, self.spec.arrival_time - sim.now)
         for ps in self.ps_tasks:
-            sim.spawn(delayed(ps.run(), delay), name=ps.name)
+            self.ps_procs.append(
+                sim.spawn(delayed(ps.run(), delay), name=ps.name)
+            )
         for wk in self.workers:
-            sim.spawn(delayed(wk.run(), delay), name=wk.name)
+            self.worker_procs.append(
+                sim.spawn(delayed(wk.run(), delay), name=wk.name)
+            )
 
         # Fire `done` and release resources when every PS shard completes.
         def finalize():
             yield AllOf([ps.done for ps in self.ps_tasks])
+            if self.recovery is not None:
+                # Recoverable workers linger to answer post-crash replays;
+                # the job is over — reap them.
+                for proc in self.worker_procs:
+                    if proc is not None and proc.alive:
+                        proc.kill()
             for wk in self.workers:
                 wk.close()
             for ep, ps in zip(self.ps_endpoints, self.ps_tasks):
@@ -143,3 +164,41 @@ class DLApplication:
             self.done.fire(self.metrics)
 
         sim.spawn(finalize(), name=f"{self.spec.job_id}/finalize")
+
+    # -- fault injection hooks (driven by repro.faults.injector) -----------
+
+    def crash_ps(self, index: int = 0) -> None:
+        """Kill PS shard ``index``: the process dies and the port closes."""
+        ps = self.ps_tasks[index]
+        if ps.done.fired or ps.crashed:
+            return
+        if self.ps_procs:
+            proc = self.ps_procs[index]
+            if proc is not None and proc.alive:
+                proc.kill()
+            self.ps_procs[index] = None
+        ps.crash()
+
+    def recover_ps(self, index: int = 0, lost_iterations: int = 0) -> None:
+        """Restart a crashed PS shard from its checkpoint."""
+        ps = self.ps_tasks[index]
+        if not ps.crashed:
+            return
+        if self.recovery is None:
+            raise PlacementError(
+                f"{self.spec.job_id}: cannot recover a PS without a RecoverySpec"
+            )
+        sim = self.cluster.sim
+        proc = sim.spawn(ps.recover(lost_iterations), name=f"{ps.name}/recover")
+        if self.ps_procs:
+            self.ps_procs[index] = proc
+
+    def kill_worker(self, index: int) -> None:
+        """Kill worker ``index`` permanently (it never comes back)."""
+        wk = self.workers[index]
+        if self.worker_procs:
+            proc = self.worker_procs[index]
+            if proc is not None and proc.alive:
+                proc.kill()
+            self.worker_procs[index] = None
+        wk.close()

@@ -23,7 +23,7 @@ worker exits the barrier when all shards of the iteration have arrived.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, Set, TYPE_CHECKING
 
 from repro.dl.job import JobSpec
 from repro.dl.metrics import JobMetrics
@@ -33,10 +33,27 @@ from repro.sim.primitives import Mailbox, Signal
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.host import Host
+    from repro.faults.plan import RecoverySpec
 
 
 MODEL_UPDATE = "model_update"
 GRADIENT_UPDATE = "gradient_update"
+
+
+class _TimerTick:
+    """A timeout sentinel dropped into a task's own mailbox.
+
+    The sim kernel has no select-with-timeout primitive; recovery-aware
+    tasks arm a timer as ``sim.schedule(delay, inbox.put, (_TimerTick(seq),))``
+    before each blocking ``inbox.get()``.  The per-task sequence number
+    identifies the one live timer — ticks from abandoned waits are
+    discarded on receipt.
+    """
+
+    __slots__ = ("seq",)
+
+    def __init__(self, seq: int) -> None:
+        self.seq = seq
 
 
 @dataclass
@@ -61,6 +78,7 @@ class WorkerTask:
         endpoint: TaskEndpoint,
         ps_endpoints: List[TaskEndpoint],
         metrics: JobMetrics,
+        recovery: Optional["RecoverySpec"] = None,
     ) -> None:
         self.spec = spec
         self.worker_index = worker_index
@@ -68,9 +86,11 @@ class WorkerTask:
         self.endpoint = endpoint
         self.ps_endpoints = list(ps_endpoints)
         self.metrics = metrics
+        self.recovery = recovery
         self.inbox = Mailbox(endpoint.host.sim, name=self.name)
         endpoint.host.transport.listen(endpoint.port, self.inbox.put)
         self.local_step = 0
+        self._wait_seq = 0
 
     def _gradient_flow(self, ps: TaskEndpoint) -> FlowKey:
         return FlowKey(
@@ -78,8 +98,23 @@ class WorkerTask:
             ps.host_id, ps.port,
         )
 
+    def _send_gradient(self, iteration: int) -> None:
+        """Send this iteration's gradient shard to every PS."""
+        for ps in self.ps_endpoints:
+            gradient = Message(
+                flow=self._gradient_flow(ps),
+                size=self.spec.shard_bytes,
+                kind=GRADIENT_UPDATE,
+                meta={"job": self.spec.job_id, "worker": self.worker_index,
+                      "iteration": iteration},
+            )
+            self.endpoint.host.transport.send_message(gradient)
+
     def run(self):
         """The worker process (a simulation generator)."""
+        if self.recovery is not None:
+            yield from self._run_recoverable()
+            return
         sim = self.endpoint.host.sim
         cpu = self.endpoint.host.cpu
         spec = self.spec
@@ -105,16 +140,78 @@ class WorkerTask:
             self.metrics.local_steps[self.name] = self.local_step
             # Send the gradient shards (barrier entry = last send handed
             # to the transport).
-            for ps in self.ps_endpoints:
-                gradient = Message(
-                    flow=self._gradient_flow(ps),
-                    size=spec.shard_bytes,
-                    kind=GRADIENT_UPDATE,
-                    meta={"job": spec.job_id, "worker": self.worker_index,
-                          "iteration": iteration},
-                )
-                self.endpoint.host.transport.send_message(gradient)
+            self._send_gradient(iteration)
             barrier_entered_at = sim.now
+
+    def _run_recoverable(self):
+        """The fault-tolerant worker loop (single-PS jobs).
+
+        Differences from the fixed-iteration loop above: the worker is
+        event-driven by the *model update's* iteration number (so a
+        checkpoint-rewound PS replays old iterations without confusing
+        it), and every blocking wait is bounded by a timer — a silent PS
+        triggers gradient re-sends with exponential backoff, bounded by
+        ``recovery.max_retries``.
+        """
+        sim = self.endpoint.host.sim
+        cpu = self.endpoint.host.cpu
+        spec = self.spec
+        rec = self.recovery
+        last_done = -1              # highest iteration fully processed
+        barrier_entered_at: Optional[float] = None
+        retries = 0
+        wait = rec.worker_timeout
+        # Timer discipline: at most one *live* deadline (the latest armed
+        # seq).  A superseded tick must be dropped WITHOUT arming a fresh
+        # timer, else every stale tick breeds another timer and the live
+        # one is never current — a silent livelock.
+        live_seq: Optional[int] = None
+
+        while True:
+            if live_seq is None:
+                self._wait_seq += 1
+                live_seq = self._wait_seq
+                sim.schedule(wait, self.inbox.put, (_TimerTick(live_seq),))
+            msg = yield self.inbox.get()
+            if isinstance(msg, _TimerTick):
+                if msg.seq != live_seq:
+                    continue        # superseded deadline: drop, don't re-arm
+                live_seq = None     # consumed; re-arm at the loop top
+                if retries >= rec.max_retries:
+                    return          # PS silent for the whole budget: give up
+                retries += 1
+                wait *= rec.backoff
+                if last_done >= 0:
+                    # Our gradient (or the broadcast answering it) may have
+                    # died with a crashed PS — re-enter the barrier.
+                    self._send_gradient(last_done)
+                continue
+            assert msg.kind == MODEL_UPDATE, f"{self.name} got {msg.kind}"
+            retries = 0
+            wait = rec.worker_timeout
+            live_seq = None         # real traffic: restart the silence window
+            iteration = msg.meta["iteration"]
+            if iteration <= last_done:
+                # A recovered PS replaying an old iteration: the gradient
+                # is already computed — resend it, don't recompute.
+                self._send_gradient(iteration)
+                continue
+            if barrier_entered_at is not None:
+                self.metrics.barriers.record(
+                    iteration - 1, sim.now - barrier_entered_at
+                )
+            jitter = sim.rng.lognormal_factor(
+                f"compute/{self.name}", spec.compute_jitter_sigma
+            )
+            yield cpu.run(spec.compute_demand_per_step * jitter)
+            self.local_step += 1
+            self.metrics.local_steps[self.name] = self.local_step
+            self._send_gradient(iteration)
+            barrier_entered_at = sim.now
+            last_done = iteration
+            # After the final iteration the worker stays to answer
+            # post-crash replays; the retry budget above bounds the wait
+            # and the application kills us at job completion.
 
     def close(self) -> None:
         self.endpoint.host.transport.unlisten(self.endpoint.port)
@@ -135,6 +232,7 @@ class PSTask:
         worker_endpoints: List[TaskEndpoint],
         metrics: JobMetrics,
         shard_index: int = 0,
+        recovery: Optional["RecoverySpec"] = None,
     ) -> None:
         self.spec = spec
         self.shard_index = shard_index
@@ -145,10 +243,16 @@ class PSTask:
         self.endpoint = endpoint
         self.worker_endpoints = worker_endpoints
         self.metrics = metrics
+        self.recovery = recovery
         self.inbox = Mailbox(endpoint.host.sim, name=self.name)
         endpoint.host.transport.listen(endpoint.port, self.inbox.put)
         self.done = Signal()
         self.global_step = 0
+        # fault-injection state (recovery-aware sync loop only)
+        self.crashed = False
+        self.crash_iteration = 0
+        self._iteration = 0
+        self._wait_seq = 0
 
     def _model_flow(self, worker: TaskEndpoint) -> FlowKey:
         return FlowKey(
@@ -156,9 +260,15 @@ class PSTask:
             worker.host_id, worker.port,
         )
 
-    def _broadcast(self, iteration: int, only: Optional[TaskEndpoint] = None) -> None:
+    def _broadcast(
+        self,
+        iteration: int,
+        only: Optional[TaskEndpoint] = None,
+        targets: Optional[List[TaskEndpoint]] = None,
+    ) -> None:
         """Send model-shard updates; the burst that contends at the NIC."""
-        targets = [only] if only is not None else self.worker_endpoints
+        if targets is None:
+            targets = [only] if only is not None else self.worker_endpoints
         for worker in targets:
             self.endpoint.host.transport.send_message(
                 Message(
@@ -175,7 +285,9 @@ class PSTask:
             self.metrics.start_time = sim.now
 
     def run(self):
-        if self.spec.sync:
+        if self.recovery is not None and self.spec.sync:
+            yield from self._run_sync_recoverable(0)
+        elif self.spec.sync:
             yield from self._run_sync()
         else:
             yield from self._run_async()
@@ -199,6 +311,103 @@ class PSTask:
             if self.shard_index == 0:
                 self.metrics.iterations_done = iteration + 1
         self._finish(sim)
+
+    def _run_sync_recoverable(self, start_iteration: int):
+        """The fault-tolerant sync loop (single-PS jobs).
+
+        Same protocol as :meth:`_run_sync`, but the barrier is idempotent
+        (gradients deduplicated per worker and iteration, stale ones
+        ignored) so worker retries and checkpoint replays are harmless,
+        and in ``barrier_mode="proceed"`` each wait is bounded by a timer
+        so the iteration can close with surviving workers.
+        """
+        sim = self.endpoint.host.sim
+        cpu = self.endpoint.host.cpu
+        spec = self.spec
+        rec = self.recovery
+        self._mark_progress(sim)
+        n = spec.n_workers
+        self._iteration = start_iteration
+        while self._iteration < spec.n_iterations:
+            iteration = self._iteration
+            self._broadcast(iteration)
+            got: Set[int] = set()
+            stalls = 0
+            # Same single-live-deadline discipline as the worker loop: a
+            # superseded tick never arms a replacement.
+            timer_seq: Optional[int] = None
+            while len(got) < n:
+                if rec.barrier_mode == "proceed" and timer_seq is None:
+                    self._wait_seq += 1
+                    timer_seq = self._wait_seq
+                    sim.schedule(rec.barrier_timeout, self.inbox.put,
+                                 (_TimerTick(timer_seq),))
+                msg = yield self.inbox.get()
+                if isinstance(msg, _TimerTick):
+                    if msg.seq != timer_seq:
+                        continue        # superseded deadline: drop
+                    timer_seq = None    # consumed; re-arm at the loop top
+                    stalls += 1
+                    if got and stalls > rec.barrier_grace:
+                        break           # proceed with the survivors
+                    if not got and stalls > rec.max_retries:
+                        return          # every worker is gone: abandon the job
+                    # The model update may have died with a crashed queue;
+                    # re-broadcast to the workers still missing.
+                    self._broadcast(iteration, targets=[
+                        ep for w, ep in enumerate(self.worker_endpoints)
+                        if w not in got
+                    ])
+                    continue
+                if msg.kind != GRADIENT_UPDATE:
+                    continue            # stray message during churn
+                if msg.meta.get("iteration") != iteration:
+                    continue            # stale gradient from before a rewind
+                widx = msg.meta["worker"]
+                if widx in got:
+                    continue            # duplicate (worker retry)
+                got.add(widx)
+                timer_seq = None        # progress: restart the silence window
+                if spec.ps_update_compute_per_shard > 0:
+                    yield cpu.run(spec.ps_update_compute_per_shard)
+                self.global_step += 1
+            if self.shard_index == 0:
+                self.metrics.iterations_done = max(
+                    self.metrics.iterations_done, iteration + 1
+                )
+            self._iteration = iteration + 1
+        self._finish(sim)
+
+    # -- crash / checkpoint-restart (driven by the fault injector) ---------
+
+    def crash(self) -> None:
+        """The PS process dies: stop listening, lose all in-memory state.
+
+        The listening port closes and queued messages vanish with the
+        fresh inbox; :attr:`crash_iteration` remembers where the run was
+        so :meth:`recover` can rewind to the checkpoint.  The generator
+        itself is killed by the application (which holds the process
+        handle).
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crash_iteration = self._iteration
+        self.endpoint.host.transport.unlisten(self.endpoint.port)
+        self.inbox = Mailbox(self.endpoint.host.sim, name=f"{self.name}/restart")
+
+    def recover(self, lost_iterations: int = 0):
+        """Restart from the checkpoint, rewound by ``lost_iterations``.
+
+        Returns the new process generator (the caller spawns it) — the
+        restarted loop re-broadcasts the rewound iteration's model, and
+        workers answer replays from their cached gradients.
+        """
+        self.crashed = False
+        resume = max(0, self.crash_iteration - lost_iterations)
+        self._iteration = resume
+        self.endpoint.host.transport.listen(self.endpoint.port, self.inbox.put)
+        return self._run_sync_recoverable(resume)
 
     def _run_async(self):
         sim = self.endpoint.host.sim

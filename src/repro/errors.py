@@ -40,5 +40,13 @@ class PlacementError(ReproError):
     """A task placement is infeasible or malformed."""
 
 
+class FaultError(ReproError):
+    """A fault plan is invalid, or a run did not survive its faults."""
+
+
+class CampaignError(ReproError):
+    """A campaign-level failure (scenario timeout, dead pool worker, ...)."""
+
+
 class WorkloadError(ReproError):
     """A DL job/workload specification is invalid."""

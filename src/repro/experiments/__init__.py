@@ -18,7 +18,9 @@ under :mod:`repro.experiments.figures` and a benchmark under
 from repro.experiments.campaign import (
     Campaign,
     CampaignEvent,
+    CampaignFailure,
     CampaignResult,
+    ExecutionOutcome,
     ParallelExecutor,
     ResultCache,
     SerialExecutor,
@@ -31,7 +33,9 @@ from repro.experiments.scenario import Scenario, scenario_grid
 __all__ = [
     "Campaign",
     "CampaignEvent",
+    "CampaignFailure",
     "CampaignResult",
+    "ExecutionOutcome",
     "ExperimentConfig",
     "ExperimentResult",
     "ParallelExecutor",

@@ -25,21 +25,31 @@ Example::
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+import signal
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigError
+from repro.errors import CampaignError, ConfigError
 from repro.experiments.export import result_from_full_dict, result_to_full_dict
 from repro.experiments.runtime import ExperimentResult, execute_scenario
 from repro.experiments.scenario import Scenario
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Chaos self-test hook (see ``_guarded_execute``): when set and a pool
+#: worker picks up a scenario tagged ``chaos=kill``, the worker process
+#: hard-exits — the campaign's crash handling can then be exercised by the
+#: test suite exactly as a real segfault/OOM kill would exercise it.
+CHAOS_KILL_ENV = "REPRO_CHAOS_KILL"
 
 
 def default_cache_dir() -> Path:
@@ -60,12 +70,29 @@ class ResultCache:
     over everything that affects execution), so re-running a figure only
     simulates what changed.  Invalidate by deleting files, calling
     :meth:`clear`, or bumping ``SCENARIO_SCHEMA`` (which changes every
-    key).  Writes are atomic (tempfile + rename), so a killed run never
-    leaves a truncated entry behind.
+    key).
+
+    Writes are atomic and race-free: each writer stages into its own
+    uniquely-named temp file, then ``os.replace``s it over the entry.
+    Concurrent writers of the same key (parallel campaigns sharing a
+    cache directory) last-write-win; readers only ever see a complete
+    entry — determinism makes every complete entry equally correct.
+
+    ``max_entries`` bounds the cache size: each :meth:`put` that pushes
+    the entry count past the bound evicts the oldest entries (by mtime).
     """
 
-    def __init__(self, path: Optional[os.PathLike] = None) -> None:
+    _tmp_counter = itertools.count()
+
+    def __init__(
+        self,
+        path: Optional[os.PathLike] = None,
+        max_entries: Optional[int] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ConfigError(f"max_entries must be >= 1, got {max_entries}")
         self.path = Path(path) if path is not None else default_cache_dir()
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
 
@@ -101,22 +128,164 @@ class ResultCache:
             "scenario": scenario.to_dict(),
             "result": result_to_full_dict(result),
         }
-        tmp = entry.with_suffix(".tmp")
+        # Unique per writer: pid distinguishes processes, the counter
+        # distinguishes threads/re-entries within one process.
+        tmp = entry.with_name(
+            f"{entry.stem}.{os.getpid()}.{next(self._tmp_counter)}.tmp"
+        )
         tmp.write_text(json.dumps(payload))
-        tmp.replace(entry)
+        os.replace(tmp, entry)
+        if self.max_entries is not None:
+            self.purge(keep=self.max_entries)
         return entry
+
+    def purge(self, keep: int = 0) -> int:
+        """Evict oldest entries (by mtime) beyond ``keep``; returns count."""
+        if keep < 0:
+            raise ConfigError(f"keep must be >= 0, got {keep}")
+        if not self.path.is_dir():
+            return 0
+        entries = []
+        for entry in self.path.glob("*.json"):
+            try:
+                entries.append((entry.stat().st_mtime, entry))
+            except OSError:
+                continue  # a concurrent purge got there first
+        entries.sort(key=lambda pair: pair[0], reverse=True)
+        removed = 0
+        for _, entry in entries[keep:]:
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
 
     def clear(self) -> int:
         """Delete every cache entry; returns how many were removed."""
-        removed = 0
-        if self.path.is_dir():
-            for entry in self.path.glob("*.json"):
-                entry.unlink()
-                removed += 1
-        return removed
+        return self.purge(keep=0)
 
     def __len__(self) -> int:
         return len(list(self.path.glob("*.json"))) if self.path.is_dir() else 0
+
+
+@dataclass
+class ExecutionOutcome:
+    """What happened to one scenario execution attempt (or its retries).
+
+    ``status`` is ``"ok"`` (``result`` is set), ``"timeout"`` (the
+    scenario exceeded its wall-clock budget), ``"error"`` (the simulation
+    raised; ``error`` carries the exception when the attempt ran
+    in-process) or ``"crashed"`` (the worker process died).
+    """
+
+    status: str
+    result: Optional[ExperimentResult] = None
+    detail: str = ""
+    error: Optional[BaseException] = None
+    attempts: int = 1
+
+
+class _ScenarioTimeout(Exception):
+    """Internal: raised by the SIGALRM handler inside a guarded run."""
+
+
+def _find_timeout(exc: Optional[BaseException]) -> Optional[_ScenarioTimeout]:
+    """The :class:`_ScenarioTimeout` in ``exc``'s cause chain, if any.
+
+    The alarm can fire while the simulator is stepping a process
+    generator, in which case the kernel re-raises it wrapped in a
+    ``ProcessError`` — still a timeout, not a simulation bug.
+    """
+    seen: set = set()
+    while exc is not None and id(exc) not in seen:
+        if isinstance(exc, _ScenarioTimeout):
+            return exc
+        seen.add(id(exc))
+        exc = exc.__cause__ or exc.__context__
+    return None
+
+
+def _run_with_wall_timeout(scenario: Scenario, timeout: float) -> ExperimentResult:
+    """Run one scenario under a wall-clock budget (SIGALRM-based).
+
+    Runs unguarded when the platform can't interrupt (no SIGALRM, or not
+    on the main thread — signal handlers are a main-thread affair).
+    Inside a pool worker the scenario IS the main thread's only work, so
+    the guard holds exactly where it matters.
+    """
+    can_alarm = (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not can_alarm:
+        return execute_scenario(scenario)
+
+    def on_alarm(signum, frame):
+        raise _ScenarioTimeout(f"exceeded {timeout:g}s wall-clock budget")
+
+    old_handler = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return execute_scenario(scenario)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, old_handler)
+
+
+#: set by the pool initializer so the chaos hook only ever fires in a
+#: sacrificial worker process, never in the caller's interpreter
+_POOL_WORKER = False
+
+
+def _mark_pool_worker() -> None:
+    global _POOL_WORKER
+    _POOL_WORKER = True
+
+
+def _maybe_chaos_kill(scenario: Scenario) -> None:
+    """Hard-exit the worker if this scenario asks to be killed (tests).
+
+    ``REPRO_CHAOS_KILL=always`` kills on every attempt; any other value
+    is a path — the file is consumed (unlinked) before dying, so the
+    scenario's retry succeeds (kill-once semantics).
+    """
+    mode = os.environ.get(CHAOS_KILL_ENV)
+    if not mode or not _POOL_WORKER or scenario.tag("chaos") != "kill":
+        return
+    if mode == "always":
+        os._exit(28)
+    try:
+        os.unlink(mode)
+    except OSError:
+        return  # token already consumed: survive this attempt
+    os._exit(28)
+
+
+def _guarded_execute(
+    scenario: Scenario,
+    timeout: Optional[float] = None,
+    keep_exception: bool = False,
+) -> ExecutionOutcome:
+    """Run one scenario, converting failures into an :class:`ExecutionOutcome`."""
+    _maybe_chaos_kill(scenario)
+    try:
+        if timeout is not None:
+            result = _run_with_wall_timeout(scenario, timeout)
+        else:
+            result = execute_scenario(scenario)
+    except _ScenarioTimeout as exc:
+        return ExecutionOutcome(status="timeout", detail=str(exc))
+    except Exception as exc:  # noqa: BLE001 - the whole point is containment
+        timeout_exc = _find_timeout(exc)
+        if timeout_exc is not None:
+            return ExecutionOutcome(status="timeout", detail=str(timeout_exc))
+        return ExecutionOutcome(
+            status="error",
+            detail=f"{type(exc).__name__}: {exc}",
+            error=exc if keep_exception else None,
+        )
+    return ExecutionOutcome(status="ok", result=result)
 
 
 class SerialExecutor:
@@ -129,11 +298,21 @@ class SerialExecutor:
     max_workers = 1
 
     def map(
-        self, scenarios: Sequence[Tuple[int, Scenario]]
-    ) -> Iterator[Tuple[int, ExperimentResult]]:
-        """Yield ``(index, result)`` in submission order."""
+        self,
+        scenarios: Sequence[Tuple[int, Scenario]],
+        timeout: Optional[float] = None,
+        max_attempts: int = 1,
+    ) -> Iterator[Tuple[int, ExecutionOutcome]]:
+        """Yield ``(index, outcome)`` in submission order.
+
+        ``max_attempts`` is accepted for executor-interface parity but
+        meaningless here: in-process attempts are deterministic, so a
+        retry would only repeat the failure.
+        """
         for index, scenario in scenarios:
-            yield index, execute_scenario(scenario)
+            yield index, _guarded_execute(
+                scenario, timeout=timeout, keep_exception=True
+            )
 
 
 class ParallelExecutor:
@@ -143,6 +322,13 @@ class ParallelExecutor:
     the same deterministic simulation and ships a plain-data
     :class:`ExperimentResult` back.  Completion order is load-dependent;
     the campaign realigns results to scenario order.
+
+    A worker process dying (segfault, OOM kill) breaks the whole pool:
+    every pending future raises ``BrokenProcessPool``, which says nothing
+    about *which* scenario was to blame.  ``map`` then switches to
+    quarantine mode — each not-yet-finished scenario runs alone in a
+    fresh single-worker pool, so a poisoned scenario is identified
+    precisely and only it is charged retry attempts.
     """
 
     def __init__(self, max_workers: Optional[int] = None) -> None:
@@ -151,21 +337,64 @@ class ParallelExecutor:
         self.max_workers = max_workers or os.cpu_count() or 1
 
     def map(
-        self, scenarios: Sequence[Tuple[int, Scenario]]
-    ) -> Iterator[Tuple[int, ExperimentResult]]:
-        """Yield ``(index, result)`` as workers complete."""
+        self,
+        scenarios: Sequence[Tuple[int, Scenario]],
+        timeout: Optional[float] = None,
+        max_attempts: int = 2,
+    ) -> Iterator[Tuple[int, ExecutionOutcome]]:
+        """Yield ``(index, outcome)`` as workers complete."""
         if not scenarios:
             return
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+        survivors: List[Tuple[int, Scenario]] = []
+        broken = False
+        with ProcessPoolExecutor(
+            max_workers=self.max_workers, initializer=_mark_pool_worker
+        ) as pool:
             pending = {
-                pool.submit(execute_scenario, scenario): index
+                pool.submit(_guarded_execute, scenario, timeout): (index, scenario)
                 for index, scenario in scenarios
             }
-            while pending:
+            while pending and not broken:
                 done, _ = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    index = pending.pop(future)
-                    yield index, future.result()
+                    index, scenario = pending.pop(future)
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool:
+                        # Innocent and guilty futures are indistinguishable
+                        # here; requeue them all for quarantine.
+                        survivors.append((index, scenario))
+                        survivors.extend(pending.values())
+                        pending.clear()
+                        broken = True
+                        break
+                    yield index, outcome
+        for index, scenario in survivors:
+            yield index, self._quarantined(scenario, timeout, max_attempts)
+
+    @staticmethod
+    def _quarantined(
+        scenario: Scenario, timeout: Optional[float], max_attempts: int
+    ) -> ExecutionOutcome:
+        """Run one scenario alone in its own pool, retrying worker deaths."""
+        for attempt in range(1, max_attempts + 1):
+            with ProcessPoolExecutor(
+                max_workers=1, initializer=_mark_pool_worker
+            ) as pool:
+                future = pool.submit(_guarded_execute, scenario, timeout)
+                try:
+                    outcome = future.result()
+                except BrokenProcessPool:
+                    continue  # this scenario's own worker died: retry it
+            outcome.attempts = attempt
+            return outcome
+        return ExecutionOutcome(
+            status="crashed",
+            detail=(
+                f"worker process died on all {max_attempts} attempts"
+            ),
+            attempts=max_attempts,
+        )
 
 
 @dataclass(frozen=True)
@@ -173,8 +402,10 @@ class CampaignEvent:
     """One progress notification (see ``Campaign(progress=...)``).
 
     ``status`` is ``"cached"`` (served from the result cache),
-    ``"running"`` (submitted to the executor) or ``"done"`` (result in
-    hand).  ``completed``/``total`` count scenarios with results so far.
+    ``"running"`` (submitted to the executor), ``"done"`` (result in
+    hand) or ``"failed"`` (report-mode campaigns: no result, see
+    :attr:`CampaignResult.failures`).  ``completed``/``total`` count
+    scenarios with settled outcomes so far.
     """
 
     status: str
@@ -184,35 +415,71 @@ class CampaignEvent:
     scenario: Scenario
 
 
+@dataclass(frozen=True)
+class CampaignFailure:
+    """One scenario a report-mode campaign could not produce a result for.
+
+    ``kind`` mirrors :class:`ExecutionOutcome` statuses: ``"timeout"``,
+    ``"error"`` or ``"crashed"``.
+    """
+
+    index: int
+    scenario: Scenario
+    kind: str
+    detail: str = ""
+    attempts: int = 1
+
+    def describe(self) -> str:
+        return (
+            f"#{self.index} [{self.scenario.label}] {self.kind}"
+            + (f": {self.detail}" if self.detail else "")
+            + (f" (attempts={self.attempts})" if self.attempts > 1 else "")
+        )
+
+
 @dataclass
 class CampaignResult:
     """Everything a finished campaign produced.
 
     ``results`` is aligned with the submitted scenario list, so callers
-    regroup by position or by scenario tags.
+    regroup by position or by scenario tags.  Under
+    ``Campaign(on_failure="report")`` a failed scenario's slot holds
+    ``None`` and a matching :class:`CampaignFailure` appears in
+    ``failures``.
     """
 
     scenarios: List[Scenario]
-    results: List[ExperimentResult]
+    results: List[Optional[ExperimentResult]]
     cache_hits: int = 0
     executed: int = 0
     wall_seconds: float = 0.0
+    failures: List[CampaignFailure] = field(default_factory=list)
 
-    def __iter__(self) -> Iterator[ExperimentResult]:
+    def __iter__(self) -> Iterator[Optional[ExperimentResult]]:
         return iter(self.results)
 
-    def pairs(self) -> List[Tuple[Scenario, ExperimentResult]]:
+    def pairs(self) -> List[Tuple[Scenario, Optional[ExperimentResult]]]:
         """``(scenario, result)`` pairs in submission order."""
         return list(zip(self.scenarios, self.results))
 
     def by_tag(self, name: str) -> Dict[str, List[ExperimentResult]]:
-        """Group results by the value of one scenario tag."""
+        """Group results by the value of one scenario tag (failures skipped)."""
         out: Dict[str, List[ExperimentResult]] = {}
         for scenario, result in self.pairs():
+            if result is None:
+                continue
             value = scenario.tag(name)
             if value is not None:
                 out.setdefault(value, []).append(result)
         return out
+
+    def failure_report(self) -> str:
+        """A human-readable summary of what did not finish (or ``""``)."""
+        if not self.failures:
+            return ""
+        lines = [f"{len(self.failures)} of {len(self.scenarios)} scenarios failed:"]
+        lines.extend(f"  {f.describe()}" for f in self.failures)
+        return "\n".join(lines)
 
 
 ProgressCallback = Callable[[CampaignEvent], None]
@@ -227,6 +494,14 @@ class Campaign:
         cache: a :class:`ResultCache`; ``None`` disables caching.
         progress: called with a :class:`CampaignEvent` per state change —
             the CLI renders these as progress lines.
+        scenario_timeout: wall-clock budget (seconds) per scenario;
+            ``None`` means unbounded.
+        max_attempts: how often a scenario whose worker process dies is
+            retried before being written off (parallel executor only).
+        on_failure: ``"raise"`` (default — first failure aborts the
+            campaign, matching historical behaviour) or ``"report"`` —
+            healthy scenarios keep their results, casualties end up in
+            :attr:`CampaignResult.failures`.
 
     One campaign object is reusable: the CLI builds a single campaign
     from its flags and passes it through every figure generator.
@@ -237,10 +512,26 @@ class Campaign:
         executor: Optional[SerialExecutor] = None,
         cache: Optional[ResultCache] = None,
         progress: Optional[ProgressCallback] = None,
+        scenario_timeout: Optional[float] = None,
+        max_attempts: int = 2,
+        on_failure: str = "raise",
     ) -> None:
+        if scenario_timeout is not None and scenario_timeout <= 0:
+            raise ConfigError(
+                f"scenario_timeout must be positive, got {scenario_timeout}"
+            )
+        if max_attempts < 1:
+            raise ConfigError(f"max_attempts must be >= 1, got {max_attempts}")
+        if on_failure not in ("raise", "report"):
+            raise ConfigError(
+                f"on_failure must be 'raise' or 'report', got {on_failure!r}"
+            )
         self.executor = executor if executor is not None else SerialExecutor()
         self.cache = cache
         self.progress = progress
+        self.scenario_timeout = scenario_timeout
+        self.max_attempts = max_attempts
+        self.on_failure = on_failure
 
     def run(self, scenarios: Iterable[Scenario]) -> CampaignResult:
         """Run every scenario, serving cache hits without simulating.
@@ -283,27 +574,70 @@ class Campaign:
 
         # Phase 2: execute the misses through the pluggable executor.
         cache_hits = completed
-        for index, result in self.executor.map(to_run):
-            results[index] = result
+        failures: List[CampaignFailure] = []
+        failed_indices: set = set()
+        for index, outcome in self.executor.map(
+            to_run,
+            timeout=self.scenario_timeout,
+            max_attempts=self.max_attempts,
+        ):
+            if outcome.status == "ok":
+                results[index] = outcome.result
+                completed += 1
+                if self.cache is not None:
+                    self.cache.put(scenario_list[index], outcome.result)
+                emit("done", index)
+                continue
+            if self.on_failure == "raise":
+                if outcome.error is not None:
+                    raise outcome.error
+                raise CampaignError(
+                    f"scenario #{index} [{scenario_list[index].label}] "
+                    f"{outcome.status}"
+                    + (f": {outcome.detail}" if outcome.detail else "")
+                )
+            failures.append(CampaignFailure(
+                index=index,
+                scenario=scenario_list[index],
+                kind=outcome.status,
+                detail=outcome.detail,
+                attempts=outcome.attempts,
+            ))
+            failed_indices.add(index)
             completed += 1
-            if self.cache is not None:
-                self.cache.put(scenario_list[index], result)
-            emit("done", index)
+            emit("failed", index)
 
-        # Phase 3: fan results out to duplicate positions.
+        # Phase 3: fan results out to duplicate positions (a failed
+        # primary fails its duplicates too — same key, same fate).
         for index, dup_indices in duplicates.items():
             for dup in dup_indices:
-                results[dup] = results[index]
                 completed += 1
+                if index in failed_indices:
+                    primary = next(f for f in failures if f.index == index)
+                    failures.append(CampaignFailure(
+                        index=dup,
+                        scenario=scenario_list[dup],
+                        kind=primary.kind,
+                        detail=primary.detail,
+                        attempts=primary.attempts,
+                    ))
+                    emit("failed", dup)
+                    continue
+                results[dup] = results[index]
                 emit("done", dup)
 
-        assert all(r is not None for r in results)
+        assert all(
+            r is not None
+            for i, r in enumerate(results)
+            if not any(f.index == i for f in failures)
+        )
         return CampaignResult(
             scenarios=scenario_list,
-            results=results,  # type: ignore[arg-type]
+            results=results,
             cache_hits=cache_hits,
             executed=len(to_run),
             wall_seconds=time.perf_counter() - wall_start,
+            failures=failures,
         )
 
     def run_one(self, scenario: Scenario) -> ExperimentResult:

@@ -76,6 +76,14 @@ class ExperimentConfig:
     #: paper's ~2 s iterations; 20 ms is ~3% of ours)
     rto: float = 0.02
 
+    # robustness (netem-style egress impairment at worker hosts)
+    #: fraction of egress segments dropped at worker NICs (0 = off)
+    netem_loss: float = 0.0
+    #: fixed egress delay (s) added at worker NICs (0 = off)
+    netem_delay: float = 0.0
+    #: uniform jitter (s) on top of ``netem_delay``
+    netem_jitter: float = 0.0
+
     # policy
     policy: Policy = Policy.FIFO
     tls_interval: float = 1.5       # TLs-RR rotation period T, scaled (paper: 20 s at 1500 iterations)
@@ -97,6 +105,10 @@ class ExperimentConfig:
             raise ConfigError("n_ps must be >= 1")
         if not 0.0 < self.compression_ratio <= 1.0:
             raise ConfigError("compression_ratio must be in (0, 1]")
+        if not 0.0 <= self.netem_loss < 1.0:
+            raise ConfigError("netem_loss must be in [0, 1)")
+        if self.netem_delay < 0 or self.netem_jitter < 0:
+            raise ConfigError("netem delay/jitter must be >= 0")
 
     # -- derived -----------------------------------------------------------
 

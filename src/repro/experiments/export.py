@@ -120,7 +120,8 @@ def to_csv(results: Iterable[ExperimentResult]) -> str:
 # -- full-fidelity round-trip (result cache) -------------------------------
 
 #: Schema of the lossless result serialization used by the campaign cache.
-FULL_SCHEMA_VERSION = 1
+#: 2: added ``fault_events`` (read back with a default for old entries).
+FULL_SCHEMA_VERSION = 2
 
 
 def _series_to_dict(series: SampleSeries) -> Dict[str, List[float]]:
@@ -191,6 +192,7 @@ def result_to_full_dict(result: ExperimentResult) -> Dict[str, Any]:
         "wall_seconds": result.wall_seconds,
         "tc_commands": list(result.tc_commands),
         "host_ids": list(result.host_ids),
+        "fault_events": list(result.fault_events),
     }
 
 
@@ -220,6 +222,7 @@ def result_from_full_dict(data: Mapping[str, Any]) -> ExperimentResult:
         wall_seconds=float(data["wall_seconds"]),
         tc_commands=list(data["tc_commands"]),
         host_ids=list(data["host_ids"]),
+        fault_events=list(data.get("fault_events", [])),
     )
 
 

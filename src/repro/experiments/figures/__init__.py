@@ -14,8 +14,10 @@ from repro.experiments.figures import (  # noqa: F401
     fig5a,
     fig5b,
     fig6,
+    robustness,
     table1,
     table2,
 )
 
-__all__ = ["fct", "fig1", "fig2", "fig3", "fig4", "fig5a", "fig5b", "fig6", "table1", "table2"]
+__all__ = ["fct", "fig1", "fig2", "fig3", "fig4", "fig5a", "fig5b", "fig6",
+           "robustness", "table1", "table2"]

@@ -20,8 +20,9 @@ its hooks instead of re-building clusters by hand — see
 from __future__ import annotations
 
 import time
+import zlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -29,10 +30,12 @@ from repro.cluster import Cluster, ClusterScheduler, default_host_ids
 from repro.dl import DLApplication, JobSpec
 from repro.dl.metrics import JobMetrics
 from repro.dl.model_zoo import get_model
-from repro.errors import ConfigError
+from repro.errors import ConfigError, FaultError
 from repro.experiments.config import ExperimentConfig, Policy
 from repro.experiments.scenario import Scenario
+from repro.faults import FaultInjector
 from repro.net.link import Link
+from repro.net.qdisc.netem import NetemQdisc
 from repro.sim import Simulator
 from repro.telemetry import ActiveWindow, HostSampler, window_mean
 from repro.telemetry.sampler import SampleSeries
@@ -73,6 +76,8 @@ class ExperimentResult:
     wall_seconds: float = 0.0
     tc_commands: List[str] = field(default_factory=list)
     host_ids: List[str] = field(default_factory=list)  # cluster's actual ids
+    #: the fault injector's audit log (empty for fault-free runs)
+    fault_events: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def avg_jct(self) -> float:
@@ -140,6 +145,7 @@ class Runtime:
     controller: Optional[TensorLights]
     samplers: Dict[str, HostSampler]
     _wall_start: float
+    injector: Optional[FaultInjector] = None
 
     def run(self) -> ExperimentResult:
         """Launch every job, drive the simulation dry, collect results."""
@@ -169,6 +175,10 @@ class Runtime:
 
         unfinished = [a.spec.job_id for a in apps if not a.metrics.finished]
         if unfinished:
+            if self.injector is not None:
+                raise FaultError(
+                    f"jobs did not survive the fault plan: {unfinished}"
+                )
             raise ConfigError(f"jobs did not finish: {unfinished}")
 
         return ExperimentResult(
@@ -184,6 +194,9 @@ class Runtime:
             wall_seconds=time.perf_counter() - self._wall_start,
             tc_commands=tc_commands,
             host_ids=self.cluster.host_ids,
+            fault_events=(
+                list(self.injector.events) if self.injector is not None else []
+            ),
         )
 
 
@@ -253,6 +266,13 @@ def materialize(
     else:
         controller = None
 
+    recovery = scenario.faults.recovery if scenario.faults is not None else None
+    if scenario.faults is not None and (config.n_ps != 1 or not config.sync):
+        raise ConfigError(
+            "fault plans require single-PS synchronous jobs "
+            f"(got n_ps={config.n_ps}, sync={config.sync})"
+        )
+
     apps: List[DLApplication] = []
     for j in range(config.n_jobs):
         job_spec = JobSpec(
@@ -268,7 +288,8 @@ def materialize(
             compression_ratio=config.compression_ratio,
         )
         worker_hosts = scheduler.worker_hosts(ps_hosts[j], config.n_workers)
-        app = DLApplication(job_spec, cluster, ps_hosts[j], worker_hosts)
+        app = DLApplication(job_spec, cluster, ps_hosts[j], worker_hosts,
+                            recovery=recovery)
         if controller is not None:
             controller.attach(app)
         apps.append(app)
@@ -283,6 +304,40 @@ def materialize(
         for host_id, n_ps in counts.items():
             if n_ps >= 2:
                 cluster.host(host_id).nic.set_qdisc(DRRQdisc())
+
+    if config.netem_loss > 0 or config.netem_delay > 0:
+        # Netem-style egress impairment at worker-only hosts.  PS hosts
+        # are exempt: a lossy qdisc there would silently replace the
+        # TensorLights HTB under study.
+        ps_host_set = set(ps_hosts)
+        for hid in cluster.host_ids:
+            if hid in ps_host_set:
+                continue
+            nic = cluster.host(hid).nic
+            nic.loss_tolerant = True
+            nic.set_qdisc(NetemQdisc(
+                delay=config.netem_delay,
+                jitter=config.netem_jitter,
+                loss=config.netem_loss,
+                seed=zlib.crc32(f"netem/{hid}".encode()) ^ config.seed,
+            ))
+
+    injector: Optional[FaultInjector] = None
+    if scenario.faults is not None:
+        # Crashes orphan traffic mid-flight; the run must survive drops at
+        # dead ports and egress loss instead of failing loudly.
+        for hid in cluster.host_ids:
+            host = cluster.host(hid)
+            host.nic.loss_tolerant = True
+            host.transport.tolerate_unrouted = True
+        injector = FaultInjector(
+            scenario.faults,
+            cluster=cluster,
+            apps=apps,
+            controller=controller,
+            seed=config.seed,
+        )
+        injector.arm()
 
     samplers: Dict[str, HostSampler] = {}
     if config.sample_hosts:
@@ -302,6 +357,7 @@ def materialize(
         controller=controller,
         samplers=samplers,
         _wall_start=wall_start,
+        injector=injector,
     )
 
 

@@ -25,10 +25,12 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.cluster.placement import PlacementSpec
 from repro.errors import ConfigError
 from repro.experiments.config import ExperimentConfig, Policy
+from repro.faults.plan import FaultPlan, plan_from_dict
 
 #: Bumped whenever scenario execution semantics change in a way that makes
 #: previously cached results stale (part of every cache key).
-SCENARIO_SCHEMA = 1
+#: 2: scenarios gained a fault plan and configs gained netem fields.
+SCENARIO_SCHEMA = 2
 
 
 def config_to_dict(config: ExperimentConfig) -> Dict[str, Any]:
@@ -61,6 +63,9 @@ class Scenario:
         config: the full experiment configuration (includes the seed).
         placement: optional override of ``config.placement()`` — used by
             the scheduler-policy ablation (A5) and custom studies.
+        faults: optional :class:`~repro.faults.plan.FaultPlan` injected
+            into the run.  Part of the content key: a faulted run never
+            shares a cache entry with its fault-free twin.
         tags: free-form ``(name, value)`` labels for regrouping campaign
             results (e.g. ``(("placement", "3"), ("policy", "tls-one"))``).
             Tags are bookkeeping only: they do **not** affect execution
@@ -69,6 +74,7 @@ class Scenario:
 
     config: ExperimentConfig
     placement: Optional[PlacementSpec] = None
+    faults: Optional[FaultPlan] = None
     tags: Tuple[Tuple[str, str], ...] = ()
 
     def __post_init__(self) -> None:
@@ -100,8 +106,9 @@ class Scenario:
             return " ".join(f"{k}={v}" for k, v in self.tags)
         spec = self.placement
         where = spec.describe() if spec else f"#{self.config.placement_index}"
+        faulted = f" faults={len(self.faults.faults)}" if self.faults else ""
         return (f"placement {where} policy={self.config.policy.value} "
-                f"seed={self.config.seed}")
+                f"seed={self.config.seed}{faulted}")
 
     # -- identity ----------------------------------------------------------
 
@@ -111,6 +118,7 @@ class Scenario:
             "schema": SCENARIO_SCHEMA,
             "config": config_to_dict(self.config),
             "placement": list(self.placement.groups) if self.placement else None,
+            "faults": self.faults.to_dict() if self.faults else None,
             "tags": [list(t) for t in self.tags],
         }
 
@@ -136,9 +144,11 @@ def scenario_from_dict(data: Mapping[str, Any]) -> Scenario:
             f"{SCENARIO_SCHEMA})"
         )
     placement = data.get("placement")
+    faults = data.get("faults")
     return Scenario(
         config=config_from_dict(data["config"]),
         placement=PlacementSpec(tuple(placement)) if placement else None,
+        faults=plan_from_dict(faults) if faults else None,
         tags=tuple((str(k), str(v)) for k, v in data.get("tags", [])),
     )
 

@@ -1,0 +1,35 @@
+"""Deterministic fault injection: declarative chaos plans + an injector.
+
+See :mod:`repro.faults.plan` for the plan vocabulary and
+:mod:`repro.faults.injector` for how plans become scheduled sim events.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    BurstLoss,
+    FAULT_KINDS,
+    Fault,
+    FaultPlan,
+    HostCrash,
+    NicDegrade,
+    NicFlap,
+    PSCrash,
+    RecoverySpec,
+    Straggler,
+    plan_from_dict,
+)
+
+__all__ = [
+    "BurstLoss",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "HostCrash",
+    "NicDegrade",
+    "NicFlap",
+    "PSCrash",
+    "RecoverySpec",
+    "Straggler",
+    "plan_from_dict",
+]

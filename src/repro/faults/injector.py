@@ -1,0 +1,216 @@
+"""Turns a :class:`~repro.faults.plan.FaultPlan` into scheduled sim events.
+
+The injector is armed once, at materialization time (simulated t=0); every
+fault becomes plain ``sim.schedule`` callbacks, so fault timing is part of
+the deterministic event order — the same plan and seed replay
+bit-identically, serial or parallel.
+
+Each action is appended to :attr:`FaultInjector.events` (plain dicts), and
+ends up in ``ExperimentResult.fault_events`` — the run's chaos audit log.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import FaultError
+from repro.faults.plan import (
+    BurstLoss,
+    FaultPlan,
+    HostCrash,
+    NicDegrade,
+    NicFlap,
+    PSCrash,
+    Straggler,
+)
+from repro.net.qdisc.netem import NetemQdisc
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+    from repro.dl.application import DLApplication
+    from repro.tensorlights.controller import TensorLights
+
+
+class FaultInjector:
+    """Schedules a plan's faults against a live cluster.
+
+    Args:
+        plan: the declarative fault schedule.
+        cluster: the materialized cluster the faults act on.
+        apps: every application in the run (crash/recover targets).
+        controller: the TensorLights controller to notify of host churn
+            (``None`` under FIFO — tc reconciliation is then a no-op).
+        seed: the experiment seed; burst-loss netem qdiscs derive their
+            RNG streams from it so loss patterns are reproducible.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        cluster: "Cluster",
+        apps: List["DLApplication"],
+        controller: Optional["TensorLights"] = None,
+        seed: int = 0,
+    ) -> None:
+        self.plan = plan
+        self.cluster = cluster
+        self.apps = list(apps)
+        self.controller = controller
+        self.seed = seed
+        self.events: List[Dict[str, Any]] = []
+        self._armed = False
+        self._base_rates: Dict[str, float] = {}   # host -> pre-fault NIC rate
+        self._prev_qdiscs: Dict[str, Any] = {}    # host -> qdisc before a burst
+
+    # -- arming -----------------------------------------------------------
+
+    def arm(self) -> None:
+        """Schedule every fault (call once, before ``sim.run``)."""
+        if self._armed:
+            raise FaultError("injector already armed")
+        self._armed = True
+        self._validate_targets()
+        sim = self.cluster.sim
+        for index, fault in enumerate(self.plan.faults):
+            if isinstance(fault, HostCrash):
+                sim.schedule(fault.at, self._host_crash, (fault,))
+                if fault.recover_after is not None:
+                    sim.schedule(fault.at + fault.recover_after,
+                                 self._host_recover, (fault,))
+            elif isinstance(fault, PSCrash):
+                sim.schedule(fault.at, self._ps_crash, (fault,))
+                if fault.recover_after is not None:
+                    sim.schedule(fault.at + fault.recover_after,
+                                 self._ps_recover, (fault,))
+            elif isinstance(fault, NicDegrade):
+                sim.schedule(fault.at, self._nic_degrade, (fault, fault.factor))
+                sim.schedule(fault.at + fault.duration,
+                             self._nic_restore, (fault,))
+            elif isinstance(fault, NicFlap):
+                for cycle in range(fault.flaps):
+                    start = fault.at + cycle * fault.period
+                    sim.schedule(start, self._nic_degrade, (fault, fault.factor))
+                    sim.schedule(start + fault.down_time,
+                                 self._nic_restore, (fault,))
+            elif isinstance(fault, BurstLoss):
+                sim.schedule(fault.at, self._burst_on, (fault, index))
+                sim.schedule(fault.at + fault.duration, self._burst_off, (fault,))
+            elif isinstance(fault, Straggler):
+                sim.schedule(fault.at, self._straggle, (fault,))
+                sim.schedule(fault.at + fault.duration, self._unstraggle, (fault,))
+            else:  # pragma: no cover - plan validation rejects these
+                raise FaultError(f"unhandled fault {fault!r}")
+        if self.controller is not None and self.plan.reconcile_interval > 0:
+            self.controller.start_reconciler(self.plan.reconcile_interval)
+
+    def _validate_targets(self) -> None:
+        hosts = set(self.cluster.host_ids)
+        jobs = {app.spec.job_id for app in self.apps}
+        for fault in self.plan.faults:
+            host = getattr(fault, "host", None)
+            if host is not None and host not in hosts:
+                raise FaultError(f"{fault.kind} targets unknown host {host!r}")
+            job = getattr(fault, "job", None)
+            if job is not None and job not in jobs:
+                raise FaultError(f"{fault.kind} targets unknown job {job!r}")
+
+    def _record(self, action: str, **detail: Any) -> None:
+        event = {"t": self.cluster.sim.now, "action": action}
+        event.update(detail)
+        self.events.append(event)
+
+    # -- host crash / recovery -------------------------------------------
+
+    def _host_crash(self, fault: HostCrash) -> None:
+        self._record("host_crash", host=fault.host)
+        if self.controller is not None:
+            self.controller.host_down(fault.host)
+        permanent = fault.recover_after is None
+        for app in self.apps:
+            lost_ps = False
+            for i, ep in enumerate(app.ps_endpoints):
+                if ep.host_id == fault.host:
+                    app.crash_ps(i)
+                    lost_ps = True
+            for i, ep in enumerate(app.worker_endpoints):
+                if ep.host_id == fault.host:
+                    app.kill_worker(i)
+            if lost_ps and permanent:
+                app.failed = True
+
+    def _host_recover(self, fault: HostCrash) -> None:
+        self._record("host_recover", host=fault.host)
+        for app in self.apps:
+            for i, (ep, ps) in enumerate(zip(app.ps_endpoints, app.ps_tasks)):
+                if ep.host_id == fault.host and ps.crashed:
+                    app.recover_ps(i, self.plan.lost_iterations)
+        # Workers stay dead: their state died with the host, and the sync
+        # protocol has no shard reassignment — the barrier's degraded mode
+        # decides whether the job proceeds without them.
+        if self.controller is not None:
+            self.controller.host_up(fault.host)
+
+    # -- PS crash / recovery ----------------------------------------------
+
+    def _app_of(self, job_id: str) -> "DLApplication":
+        for app in self.apps:
+            if app.spec.job_id == job_id:
+                return app
+        raise FaultError(f"no application for job {job_id!r}")
+
+    def _ps_crash(self, fault: PSCrash) -> None:
+        self._record("ps_crash", job=fault.job)
+        app = self._app_of(fault.job)
+        app.crash_ps(0)
+        if fault.recover_after is None:
+            app.failed = True
+
+    def _ps_recover(self, fault: PSCrash) -> None:
+        self._record("ps_recover", job=fault.job,
+                     lost_iterations=self.plan.lost_iterations)
+        self._app_of(fault.job).recover_ps(0, self.plan.lost_iterations)
+
+    # -- NIC rate ----------------------------------------------------------
+
+    def _nic_degrade(self, fault, factor: float) -> None:
+        nic = self.cluster.host(fault.host).nic
+        base = self._base_rates.setdefault(fault.host, nic.rate)
+        nic.set_rate(base * factor)
+        self._record("nic_degrade", host=fault.host, factor=factor)
+
+    def _nic_restore(self, fault) -> None:
+        base = self._base_rates.get(fault.host)
+        if base is not None:
+            self.cluster.host(fault.host).nic.set_rate(base)
+        self._record("nic_restore", host=fault.host)
+
+    # -- burst loss ---------------------------------------------------------
+
+    def _burst_on(self, fault: BurstLoss, index: int) -> None:
+        nic = self.cluster.host(fault.host).nic
+        self._prev_qdiscs[fault.host] = nic.qdisc
+        nic.set_qdisc(NetemQdisc(
+            delay=fault.delay,
+            jitter=fault.jitter,
+            loss=fault.loss,
+            seed=zlib.crc32(f"burst/{fault.host}/{index}".encode()) ^ self.seed,
+        ))
+        self._record("burst_loss_on", host=fault.host, loss=fault.loss)
+
+    def _burst_off(self, fault: BurstLoss) -> None:
+        prev = self._prev_qdiscs.pop(fault.host, None)
+        if prev is not None:
+            # set_qdisc migrates the netem backlog back into the old qdisc.
+            self.cluster.host(fault.host).nic.set_qdisc(prev)
+        self._record("burst_loss_off", host=fault.host)
+
+    # -- straggler ----------------------------------------------------------
+
+    def _straggle(self, fault: Straggler) -> None:
+        self.cluster.host(fault.host).cpu.set_speed(1.0 / fault.slowdown)
+        self._record("straggler_on", host=fault.host, slowdown=fault.slowdown)
+
+    def _unstraggle(self, fault: Straggler) -> None:
+        self.cluster.host(fault.host).cpu.set_speed(1.0)
+        self._record("straggler_off", host=fault.host)

@@ -1,0 +1,321 @@
+"""Declarative fault plans: what breaks, when, and how jobs recover.
+
+A :class:`FaultPlan` mirrors :class:`~repro.experiments.scenario.Scenario`'s
+design: frozen, picklable, dict-serializable plain data, so plans cross
+process boundaries (the parallel executor) and participate in the scenario
+content key (a faulted run never collides with a clean one in the result
+cache).  The plan holds no simulator references — the
+:class:`~repro.faults.injector.FaultInjector` turns it into scheduled
+events when a scenario is materialized.
+
+Faults are timed injectors::
+
+    FaultPlan(faults=(
+        PSCrash(at=0.4, job="job00", recover_after=0.3),
+        BurstLoss(at=1.0, host="h03", loss=0.05, duration=0.5),
+        Straggler(at=0.2, host="h05", slowdown=4.0, duration=1.0),
+    ))
+
+Recovery semantics (worker send retries, PS checkpoint rewind, barrier
+degraded mode) live in the accompanying :class:`RecoverySpec` and are
+interpreted by the DL layer (``repro.dl.tasks``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, Mapping, Optional, Tuple, Type, Union
+
+from repro.errors import FaultError
+
+#: Barrier behaviour while workers are missing (see :class:`RecoverySpec`).
+BARRIER_MODES = ("stall", "proceed")
+
+
+@dataclass(frozen=True)
+class RecoverySpec:
+    """How PS and worker tasks behave around failures.
+
+    Attributes:
+        worker_timeout: seconds a worker waits for the next model update
+            before suspecting a silent PS and re-entering the barrier.
+        backoff: multiplicative backoff applied to ``worker_timeout`` on
+            each consecutive retry.
+        max_retries: consecutive unanswered retries before a worker (or a
+            PS barrier in ``proceed`` mode with no survivors) gives up.
+        barrier_mode: ``"stall"`` — the sync barrier waits for every
+            worker forever (a dead worker deadlocks the job, surfaced as a
+            :class:`~repro.errors.FaultError`); ``"proceed"`` — after
+            ``barrier_grace`` consecutive ``barrier_timeout`` windows with
+            at least one gradient in hand, the PS closes the iteration
+            with the surviving workers.
+        barrier_timeout: seconds per barrier wait window in ``proceed``
+            mode (also paces model-update re-broadcasts to missing
+            workers).
+        barrier_grace: timeout windows tolerated before proceeding
+            without the missing workers.
+    """
+
+    worker_timeout: float = 1.0
+    backoff: float = 2.0
+    max_retries: int = 8
+    barrier_mode: str = "stall"
+    barrier_timeout: float = 2.0
+    barrier_grace: int = 2
+
+    def __post_init__(self) -> None:
+        if self.worker_timeout <= 0:
+            raise FaultError(f"worker_timeout must be > 0, got {self.worker_timeout}")
+        if self.backoff < 1.0:
+            raise FaultError(f"backoff must be >= 1, got {self.backoff}")
+        if self.max_retries < 1:
+            raise FaultError(f"max_retries must be >= 1, got {self.max_retries}")
+        if self.barrier_mode not in BARRIER_MODES:
+            raise FaultError(
+                f"barrier_mode must be one of {BARRIER_MODES}, got "
+                f"{self.barrier_mode!r}"
+            )
+        if self.barrier_timeout <= 0:
+            raise FaultError(f"barrier_timeout must be > 0, got {self.barrier_timeout}")
+        if self.barrier_grace < 1:
+            raise FaultError(f"barrier_grace must be >= 1, got {self.barrier_grace}")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Base class: one timed injection.  ``at`` is simulated seconds."""
+
+    at: float
+
+    kind: ClassVar[str] = ""
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise FaultError(f"{type(self).__name__}.at must be >= 0, got {self.at}")
+
+
+@dataclass(frozen=True)
+class HostCrash(Fault):
+    """Power-fail one host: its tasks die, its queues and tc state vanish.
+
+    PS tasks on the host checkpoint-restart when the host comes back
+    (``recover_after`` seconds later); worker tasks stay dead — their
+    jobs finish only under ``barrier_mode="proceed"``.  ``None`` means
+    the host never recovers.
+    """
+
+    host: str = ""
+    recover_after: Optional[float] = None
+
+    kind: ClassVar[str] = "host_crash"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.host:
+            raise FaultError("HostCrash needs a host id")
+        if self.recover_after is not None and self.recover_after <= 0:
+            raise FaultError(f"recover_after must be > 0, got {self.recover_after}")
+
+
+@dataclass(frozen=True)
+class PSCrash(Fault):
+    """Kill one job's parameter server process (the host stays up).
+
+    The PS restarts ``recover_after`` seconds later from its checkpoint,
+    rewound by the plan's ``lost_iterations``.  ``None`` means it never
+    restarts (the job is marked failed and reconciled away).
+    """
+
+    job: str = ""
+    recover_after: Optional[float] = None
+
+    kind: ClassVar[str] = "ps_crash"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.job:
+            raise FaultError("PSCrash needs a job id")
+        if self.recover_after is not None and self.recover_after <= 0:
+            raise FaultError(f"recover_after must be > 0, got {self.recover_after}")
+
+
+@dataclass(frozen=True)
+class NicDegrade(Fault):
+    """Scale one host's NIC line rate by ``factor`` for ``duration`` seconds."""
+
+    host: str = ""
+    factor: float = 0.1
+    duration: float = 1.0
+
+    kind: ClassVar[str] = "nic_degrade"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.host:
+            raise FaultError("NicDegrade needs a host id")
+        if not 0.0 < self.factor <= 1.0:
+            raise FaultError(f"factor must be in (0, 1], got {self.factor}")
+        if self.duration <= 0:
+            raise FaultError(f"duration must be > 0, got {self.duration}")
+
+
+@dataclass(frozen=True)
+class NicFlap(Fault):
+    """A flapping NIC: ``flaps`` cycles of severe rate degradation.
+
+    Each cycle starts ``period`` seconds after the previous one and
+    degrades the link to ``factor`` of line rate for ``down_time``
+    seconds.  Modeled as (very) slow rather than black-holed so in-flight
+    retransmissions eventually drain instead of looping forever.
+    """
+
+    host: str = ""
+    flaps: int = 3
+    down_time: float = 0.2
+    period: float = 1.0
+    factor: float = 1e-3
+
+    kind: ClassVar[str] = "nic_flap"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.host:
+            raise FaultError("NicFlap needs a host id")
+        if self.flaps < 1:
+            raise FaultError(f"flaps must be >= 1, got {self.flaps}")
+        if self.down_time <= 0 or self.period <= self.down_time:
+            raise FaultError(
+                f"need 0 < down_time < period, got down_time={self.down_time} "
+                f"period={self.period}"
+            )
+        if not 0.0 < self.factor <= 1.0:
+            raise FaultError(f"factor must be in (0, 1], got {self.factor}")
+
+
+@dataclass(frozen=True)
+class BurstLoss(Fault):
+    """A window of random egress loss at one host (swaps in a netem qdisc).
+
+    The previous qdisc (and its backlog) is restored when the burst ends.
+    Target worker hosts — replacing a TensorLights HTB root would defeat
+    the controller.
+    """
+
+    host: str = ""
+    loss: float = 0.01
+    duration: float = 1.0
+    delay: float = 0.0
+    jitter: float = 0.0
+
+    kind: ClassVar[str] = "burst_loss"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.host:
+            raise FaultError("BurstLoss needs a host id")
+        if not 0.0 <= self.loss < 1.0:
+            raise FaultError(f"loss must be in [0, 1), got {self.loss}")
+        if self.duration <= 0:
+            raise FaultError(f"duration must be > 0, got {self.duration}")
+        if self.delay < 0 or self.jitter < 0:
+            raise FaultError("delay/jitter must be >= 0")
+
+
+@dataclass(frozen=True)
+class Straggler(Fault):
+    """Slow one host's CPU by ``slowdown``x for ``duration`` seconds."""
+
+    host: str = ""
+    slowdown: float = 4.0
+    duration: float = 1.0
+
+    kind: ClassVar[str] = "straggler"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.host:
+            raise FaultError("Straggler needs a host id")
+        if self.slowdown <= 1.0:
+            raise FaultError(f"slowdown must be > 1, got {self.slowdown}")
+        if self.duration <= 0:
+            raise FaultError(f"duration must be > 0, got {self.duration}")
+
+
+#: kind string -> fault class (drives dict round-trips).
+FAULT_KINDS: Dict[str, Type[Fault]] = {
+    cls.kind: cls
+    for cls in (HostCrash, PSCrash, NicDegrade, NicFlap, BurstLoss, Straggler)
+}
+
+AnyFault = Union[HostCrash, PSCrash, NicDegrade, NicFlap, BurstLoss, Straggler]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, deterministic chaos schedule for one scenario.
+
+    Attributes:
+        faults: the timed injections, any order (the injector schedules
+            each at its own ``at``).
+        recovery: DL-layer failure semantics (see :class:`RecoverySpec`).
+        lost_iterations: checkpoint staleness — a restarting PS rewinds
+            this many iterations (the paper-world "lose the last K
+            steps" cost of coarse checkpointing).
+        reconcile_interval: period of the TensorLights reconciliation
+            loop that scrubs dead jobs and re-installs bands on recovered
+            hosts; ``0`` disables the loop (crash/recover events still
+            reconcile eagerly).
+    """
+
+    faults: Tuple[AnyFault, ...] = ()
+    recovery: RecoverySpec = RecoverySpec()
+    lost_iterations: int = 1
+    reconcile_interval: float = 0.5
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for fault in self.faults:
+            if not isinstance(fault, Fault):
+                raise FaultError(f"not a fault: {fault!r}")
+        if self.lost_iterations < 0:
+            raise FaultError(
+                f"lost_iterations must be >= 0, got {self.lost_iterations}"
+            )
+        if self.reconcile_interval < 0:
+            raise FaultError(
+                f"reconcile_interval must be >= 0, got {self.reconcile_interval}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict (round-trips via :func:`plan_from_dict`)."""
+        return {
+            "faults": [
+                {"kind": f.kind, **dataclasses.asdict(f)} for f in self.faults
+            ],
+            "recovery": dataclasses.asdict(self.recovery),
+            "lost_iterations": self.lost_iterations,
+            "reconcile_interval": self.reconcile_interval,
+        }
+
+
+def plan_from_dict(data: Mapping[str, Any]) -> FaultPlan:
+    """Rebuild a :class:`FaultPlan` from :meth:`FaultPlan.to_dict`."""
+    faults = []
+    for entry in data.get("faults", []):
+        fields = dict(entry)
+        kind = fields.pop("kind", None)
+        cls = FAULT_KINDS.get(kind)
+        if cls is None:
+            raise FaultError(f"unknown fault kind {kind!r}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(fields) - known
+        if unknown:
+            raise FaultError(f"unknown {kind} fields {sorted(unknown)}")
+        faults.append(cls(**fields))
+    return FaultPlan(
+        faults=tuple(faults),
+        recovery=RecoverySpec(**data.get("recovery", {})),
+        lost_iterations=int(data.get("lost_iterations", 1)),
+        reconcile_interval=float(data.get("reconcile_interval", 0.5)),
+    )

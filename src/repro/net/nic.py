@@ -49,6 +49,10 @@ class NIC:
         self.host_id = host_id
         self.rate = rate
         self.qdisc: Qdisc = qdisc if qdisc is not None else PFifo()
+        #: when True, an enqueue-time drop (e.g. netem loss) is reported
+        #: through ``on_segment_dropped`` instead of raising — required
+        #: for lossy qdiscs at a host NIC (robustness experiments)
+        self.loss_tolerant = False
         self.on_segment_sent: Optional[Callable[[Segment], None]] = None
         self.on_receive: Optional[Callable[[Segment], None]] = None
         #: fired when the egress qdisc AQM-drops an accepted segment
@@ -94,14 +98,34 @@ class NIC:
 
     # -- TX path ----------------------------------------------------------
 
+    def set_rate(self, rate: float) -> None:
+        """Change the line rate (fault injection: NIC degradation/flaps).
+
+        A segment already serializing finishes at the old rate; the next
+        dequeue sees the new one.
+        """
+        if rate <= 0:
+            raise NetworkError(f"NIC rate must be positive, got {rate}")
+        self.rate = rate
+
     def send(self, seg: Segment) -> None:
         """Hand a segment to the egress qdisc.
 
         Raises :class:`NetworkError` on drop — queue limits are sized so
         drops never happen in a correctly configured experiment, and a
-        loud failure beats a transport that waits forever.
+        loud failure beats a transport that waits forever.  Robustness
+        experiments that *want* egress loss (netem) set
+        :attr:`loss_tolerant`, which reports the drop to the transport
+        (window-slot release + RTO retransmit) instead of raising.
         """
         if not self.qdisc.enqueue(seg, self.sim.now):
+            if self.loss_tolerant and self.on_segment_dropped is not None:
+                self.sim.trace.record(
+                    "egress_drop", host=self.host_id, flow=str(seg.flow),
+                    seg=seg.index,
+                )
+                self.on_segment_dropped(seg)
+                return
             raise NetworkError(
                 f"qdisc on {self.host_id} dropped {seg!r} "
                 f"(backlog={len(self.qdisc)})"

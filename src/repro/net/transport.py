@@ -114,8 +114,13 @@ class Transport:
         self._send_states: Dict[FlowKey, _SendState] = {}
         self._recv_states: Dict[int, _RecvState] = {}
         self._listeners: Dict[int, Callable[[Message], None]] = {}
+        #: when True, a message arriving for a port with no listener is
+        #: counted and dropped instead of raising — fault-injection runs
+        #: enable this so traffic in flight to a crashed task is survivable
+        self.tolerate_unrouted = False
         self.messages_sent = 0
         self.messages_delivered = 0
+        self.messages_unrouted = 0
         self.segments_lost = 0
         self.segments_retransmitted = 0
 
@@ -238,6 +243,13 @@ class Transport:
         )
         listener = self._listeners.get(msg.flow.dst_port)
         if listener is None:
+            if self.tolerate_unrouted:
+                self.messages_unrouted += 1
+                self.sim.trace.record(
+                    "msg_unrouted", flow=str(msg.flow), msg=msg.msg_id,
+                    msg_kind=msg.kind,
+                )
+                return
             raise NetworkError(
                 f"no listener on {self.nic.host_id}:{msg.flow.dst_port} "
                 f"for {msg.kind} message"

@@ -17,7 +17,7 @@ on the hosts with contending PSes and leave other hosts unchanged").
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, Set, TYPE_CHECKING
 
 from repro.errors import ConfigError
 from repro.sim.process import Timeout
@@ -40,9 +40,10 @@ class TLMode(str, enum.Enum):
 class _HostState:
     """Per-PS-host controller state."""
 
-    __slots__ = ("tc", "apps", "ports", "rotation")
+    __slots__ = ("host_id", "tc", "apps", "ports", "rotation")
 
-    def __init__(self, tc: Tc) -> None:
+    def __init__(self, host_id: str, tc: Tc) -> None:
+        self.host_id = host_id
         self.tc = tc
         self.apps: List["DLApplication"] = []
         #: job_id -> this job's PS ports on this host (>1 for sharded jobs)
@@ -79,7 +80,9 @@ class TensorLights:
         self.max_bands = max_bands
         self.policy: PriorityPolicy = policy if policy is not None else ArrivalOrderPolicy()
         self._hosts: Dict[str, _HostState] = {}
+        self._down: Set[str] = set()
         self._rotor_running = False
+        self._reconciler_running = False
         self.reconfigurations = 0  # tc touch count (deployment cost metric)
 
     # -- job lifecycle ------------------------------------------------------
@@ -97,7 +100,7 @@ class TensorLights:
         for host_id, ports in endpoints_by_host.items():
             state = self._hosts.get(host_id)
             if state is None:
-                state = _HostState(Tc(self.cluster.host(host_id).nic))
+                state = _HostState(host_id, Tc(self.cluster.host(host_id).nic))
                 self._hosts[host_id] = state
             if app in state.apps:
                 raise ConfigError(f"{app.spec.job_id} already attached")
@@ -131,6 +134,8 @@ class TensorLights:
 
     def _reconfigure(self, state: _HostState) -> None:
         """(Re)apply the banding for one host's current jobs."""
+        if state.host_id in self._down:
+            return  # nothing to configure until the host is back
         n = len(state.apps)
         if n < 2:
             # No contention: the paper leaves such hosts at the default
@@ -151,6 +156,76 @@ class TensorLights:
             for port in state.ports[app.spec.job_id]:
                 state.tc.set_port_band(port, bands[rotated_rank])
                 self.reconfigurations += 1
+
+    # -- fault awareness & reconciliation --------------------------------------
+
+    def host_down(self, host_id: str) -> None:
+        """A host crashed: its tc state is wiped (a reboot loses qdiscs)."""
+        self._down.add(host_id)
+        state = self._hosts.get(host_id)
+        if state is not None and state.tc.installed:
+            state.tc.remove()
+            self.reconfigurations += 1
+
+    def host_up(self, host_id: str) -> None:
+        """A crashed host came back (fresh FIFO qdisc, no bands).
+
+        The desired banding is re-installed immediately; the periodic
+        reconciler would also catch it on its next pass.
+        """
+        self._down.discard(host_id)
+        state = self._hosts.get(host_id)
+        if state is not None:
+            self._reconfigure(state)
+
+    def reconcile(self) -> int:
+        """One anti-entropy pass: drop dead jobs, fix tc drift.
+
+        Removes bands for jobs that departed or failed without firing
+        their ``done`` signal (a crashed PS never does), and re-installs
+        HTB on recovered hosts whose desired state says it should exist.
+        Returns the number of hosts whose configuration was touched.
+        """
+        touched = 0
+        for state in self._hosts.values():
+            stale = [a for a in state.apps
+                     if a.done.fired or getattr(a, "failed", False)]
+            for app in stale:
+                state.apps.remove(app)
+                ports = state.ports.pop(app.spec.job_id, [])
+                if state.tc.installed:
+                    for port in ports:
+                        state.tc.del_port(port)
+            if stale:
+                self._reconfigure(state)
+                touched += 1
+                continue
+            if state.host_id in self._down:
+                continue
+            needs_tc = len(state.apps) >= 2
+            if needs_tc != state.tc.installed:
+                self._reconfigure(state)
+                touched += 1
+        return touched
+
+    def start_reconciler(self, interval: float) -> None:
+        """Run :meth:`reconcile` every ``interval`` seconds (idempotent)."""
+        if interval <= 0:
+            raise ConfigError(
+                f"reconcile interval must be positive, got {interval}"
+            )
+        if self._reconciler_running:
+            return
+        self._reconciler_running = True
+        self.cluster.sim.spawn(self._reconciler(interval), name="tl-reconciler")
+
+    def _reconciler(self, interval: float):
+        while True:
+            yield Timeout(interval)
+            if not any(s.apps for s in self._hosts.values()):
+                break  # every job gone; let the simulation drain
+            self.reconcile()
+        self._reconciler_running = False
 
     # -- TLs-RR rotation -------------------------------------------------------
 

@@ -1,0 +1,167 @@
+"""Crash-tolerant Campaign tests: timeouts, dead workers, cache races."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import CampaignError, ConfigError
+from repro.experiments import (
+    Campaign,
+    ExperimentConfig,
+    ParallelExecutor,
+    ResultCache,
+    Scenario,
+)
+from repro.experiments.campaign import CHAOS_KILL_ENV
+from repro.experiments.runtime import execute_scenario
+from repro.faults import FaultPlan, PSCrash
+
+MICRO = ExperimentConfig.tiny(n_jobs=2, n_workers=2, iterations=3)
+
+#: Big enough that the simulation cannot finish inside any timeout used
+#: below; the SIGALRM guard must cut it short.
+GLACIAL = MICRO.replace(iterations=200_000, seed=11)
+
+
+def test_campaign_survives_timeout_and_worker_death(monkeypatch):
+    """The acceptance scenario: one hung scenario, one killed worker —
+    healthy scenarios keep their results and the report names both."""
+    monkeypatch.setenv(CHAOS_KILL_ENV, "always")
+    healthy = Scenario(config=MICRO).with_tags(role="healthy")
+    slow = Scenario(config=GLACIAL).with_tags(slow="1")
+    doomed = Scenario(config=MICRO.replace(seed=2)).with_tags(chaos="kill")
+    campaign = Campaign(
+        executor=ParallelExecutor(max_workers=2),
+        scenario_timeout=2.0,
+        max_attempts=2,
+        on_failure="report",
+    )
+    res = campaign.run([healthy, slow, doomed])
+    assert res.results[0] is not None          # the healthy run survived
+    assert res.results[1] is None and res.results[2] is None
+    kinds = {f.index: f.kind for f in res.failures}
+    assert kinds == {1: "timeout", 2: "crashed"}
+    crashed = next(f for f in res.failures if f.kind == "crashed")
+    assert crashed.attempts == 2               # it was retried, then written off
+    report = res.failure_report()
+    assert "2 of 3 scenarios failed" in report
+    assert "timeout" in report and "crashed" in report
+    assert "slow=1" in report and "chaos=kill" in report
+
+
+def test_chaos_kill_once_recovers_on_retry(tmp_path, monkeypatch):
+    """Kill-once semantics: the retry finds the token consumed and succeeds."""
+    token = tmp_path / "kill-token"
+    token.write_text("armed")
+    monkeypatch.setenv(CHAOS_KILL_ENV, str(token))
+    doomed = Scenario(config=MICRO.replace(seed=3)).with_tags(chaos="kill")
+    campaign = Campaign(executor=ParallelExecutor(max_workers=2),
+                        max_attempts=2, on_failure="report")
+    res = campaign.run([doomed])
+    assert not res.failures
+    assert res.results[0] is not None
+    assert not token.exists()                  # first attempt consumed it
+
+
+def test_raise_mode_aborts_on_timeout():
+    with pytest.raises(CampaignError, match="timeout"):
+        Campaign(scenario_timeout=1.0).run([Scenario(config=GLACIAL)])
+
+
+def test_duplicates_of_a_failed_scenario_fail_together():
+    slow = Scenario(config=GLACIAL)
+    res = Campaign(scenario_timeout=1.0, on_failure="report").run([slow, slow])
+    assert res.results == [None, None]
+    assert sorted(f.index for f in res.failures) == [0, 1]
+    assert all(f.kind == "timeout" for f in res.failures)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"scenario_timeout": 0.0},
+    {"max_attempts": 0},
+    {"on_failure": "explode"},
+])
+def test_campaign_rejects_bad_parameters(kwargs):
+    with pytest.raises(ConfigError):
+        Campaign(**kwargs)
+
+
+# -- ResultCache hardening ---------------------------------------------------
+
+
+def test_cache_concurrent_writers_never_corrupt(tmp_path):
+    """Hammer one cache entry from several threads while reading it:
+    every read must see a complete entry (atomic tmp + rename)."""
+    scenario = Scenario(config=MICRO)
+    result = execute_scenario(scenario)
+    cache = ResultCache(tmp_path)
+    cache.put(scenario, result)
+    stop = threading.Event()
+
+    def writer():
+        while not stop.is_set():
+            cache.put(scenario, result)
+
+    threads = [threading.Thread(target=writer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    try:
+        good_reads = 0
+        deadline = time.monotonic() + 1.0
+        while time.monotonic() < deadline:
+            got = ResultCache(tmp_path).get(scenario)
+            assert got is not None, "reader saw a missing/corrupt entry"
+            assert got.jcts == result.jcts
+            good_reads += 1
+    finally:
+        stop.set()
+        for t in threads:
+            t.join()
+    assert good_reads > 0
+    assert not list(tmp_path.glob("*.tmp"))    # no staging debris left
+
+
+def test_cache_max_entries_evicts_oldest(tmp_path):
+    result = execute_scenario(Scenario(config=MICRO))
+    cache = ResultCache(tmp_path, max_entries=2)
+    scenarios = [Scenario(config=MICRO.replace(seed=s)) for s in range(4)]
+    for scenario in scenarios:
+        cache.put(scenario, result)
+        time.sleep(0.01)                       # distinct mtimes for eviction
+    assert len(cache) == 2
+    assert ResultCache(tmp_path).get(scenarios[-1]) is not None
+    assert ResultCache(tmp_path).get(scenarios[0]) is None
+
+
+def test_cache_purge_and_clear(tmp_path):
+    result = execute_scenario(Scenario(config=MICRO))
+    cache = ResultCache(tmp_path)
+    for s in range(3):
+        cache.put(Scenario(config=MICRO.replace(seed=s)), result)
+    assert cache.purge(keep=1) == 2
+    assert len(cache) == 1
+    assert cache.clear() == 1
+    assert len(cache) == 0
+    with pytest.raises(ConfigError):
+        cache.purge(keep=-1)
+    with pytest.raises(ConfigError):
+        ResultCache(tmp_path, max_entries=0)
+
+
+def test_faulted_scenario_never_served_clean_cache_entry(tmp_path):
+    """A fault plan is part of the content key: a faulted run must miss
+    the clean run's cache entry (and vice versa)."""
+    clean = Scenario(config=MICRO)
+    Campaign(cache=ResultCache(tmp_path)).run([clean])
+    faulted = Scenario(
+        config=MICRO,
+        faults=FaultPlan(
+            faults=(PSCrash(job="job00", at=0.2, recover_after=0.2),),
+        ),
+    )
+    warm = Campaign(cache=ResultCache(tmp_path)).run([faulted])
+    assert warm.cache_hits == 0 and warm.executed == 1
+    assert warm.results[0].fault_events
+    rewarm = Campaign(cache=ResultCache(tmp_path)).run([clean, faulted])
+    assert rewarm.cache_hits == 2 and rewarm.executed == 0

@@ -1,0 +1,83 @@
+"""Tests for the declarative fault-plan vocabulary."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (
+    BurstLoss,
+    FaultPlan,
+    HostCrash,
+    NicDegrade,
+    NicFlap,
+    PSCrash,
+    RecoverySpec,
+    Straggler,
+    plan_from_dict,
+)
+
+FULL_PLAN = FaultPlan(
+    faults=(
+        HostCrash(host="h03", at=0.5, recover_after=1.0),
+        PSCrash(job="job00", at=0.2),
+        NicDegrade(host="h01", at=0.1, factor=0.25, duration=0.4),
+        NicFlap(host="h02", at=0.3, flaps=2, down_time=0.05, period=0.2),
+        BurstLoss(host="h04", at=0.6, loss=0.1, duration=0.3, delay=1e-4),
+        Straggler(host="h05", at=0.4, slowdown=3.0, duration=0.5),
+    ),
+    recovery=RecoverySpec(barrier_mode="proceed", barrier_timeout=1.0),
+    lost_iterations=2,
+    reconcile_interval=0.25,
+)
+
+
+def test_plan_round_trips_through_dict():
+    rebuilt = plan_from_dict(FULL_PLAN.to_dict())
+    assert rebuilt == FULL_PLAN
+
+
+def test_plan_dict_is_json_safe():
+    import json
+
+    json.dumps(FULL_PLAN.to_dict())  # must not raise
+
+
+def test_unknown_fault_kind_rejected():
+    data = FULL_PLAN.to_dict()
+    data["faults"][0]["kind"] = "meteor_strike"
+    with pytest.raises(FaultError):
+        plan_from_dict(data)
+
+
+def test_unknown_fault_field_rejected():
+    data = FULL_PLAN.to_dict()
+    data["faults"][0]["blast_radius"] = 9000
+    with pytest.raises(FaultError):
+        plan_from_dict(data)
+
+
+@pytest.mark.parametrize("bad", [
+    lambda: HostCrash(host="h0", at=-1.0),
+    lambda: PSCrash(job="j", at=0.0, recover_after=-0.5),
+    lambda: NicDegrade(host="h0", at=0.0, factor=0.0),
+    lambda: NicDegrade(host="h0", at=0.0, factor=1.5),
+    lambda: NicFlap(host="h0", at=0.0, flaps=0),
+    lambda: NicFlap(host="h0", at=0.0, down_time=0.3, period=0.2),
+    lambda: BurstLoss(host="h0", at=0.0, loss=1.0),
+    lambda: Straggler(host="h0", at=0.0, slowdown=1.0),
+    lambda: RecoverySpec(barrier_mode="panic"),
+    lambda: RecoverySpec(worker_timeout=0.0),
+    lambda: RecoverySpec(backoff=0.5),
+    lambda: RecoverySpec(max_retries=-1),
+    lambda: FaultPlan(lost_iterations=-1),
+    lambda: FaultPlan(reconcile_interval=-0.1),
+])
+def test_invalid_values_rejected(bad):
+    with pytest.raises(FaultError):
+        bad()
+
+
+def test_plans_are_hashable_and_picklable():
+    import pickle
+
+    assert hash(FULL_PLAN) == hash(plan_from_dict(FULL_PLAN.to_dict()))
+    assert pickle.loads(pickle.dumps(FULL_PLAN)) == FULL_PLAN

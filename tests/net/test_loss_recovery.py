@@ -96,6 +96,73 @@ def test_aimd_additive_increase_caps_at_base():
     assert s.window == 4.0
 
 
+def test_slow_start_exits_into_congestion_avoidance():
+    """Below ssthresh growth is +1/segment; after a loss resets ssthresh,
+    growth switches to +1/window (congestion avoidance)."""
+    from repro.net.transport import _SendState
+
+    s = _SendState(window=8, slow_start=True)
+    assert s.window == 1.0 and s.ssthresh == 8.0
+    s.on_progress()
+    assert s.window == 2.0  # exponential phase: +1 per served segment
+    s.on_progress()
+    assert s.window == 3.0
+    s.on_loss()
+    assert s.window == 1.5 and s.ssthresh == 1.5  # MD + slow-start exit
+    s.on_progress()
+    assert s.window == pytest.approx(1.5 + 1.0 / 1.5)  # now additive
+
+
+def test_on_loss_tracks_ssthresh():
+    from repro.net.transport import _SendState
+
+    s = _SendState(window=8)
+    assert s.ssthresh == 0.0  # no slow start: already past threshold
+    s.on_loss()
+    assert s.window == 4.0 and s.ssthresh == 4.0
+    s.on_loss()
+    assert s.window == 2.0 and s.ssthresh == 2.0
+
+
+def test_local_drop_releases_window_slot():
+    """An egress (netem/AQM) drop must free its window slot; otherwise the
+    flow wedges once ``window`` drops are in flight.  Full delivery of a
+    many-segment message through a very lossy egress proves the release."""
+    from repro.net.qdisc.netem import NetemQdisc
+
+    sim, net = lossy_net(buffer_bytes=None, rto=0.05)
+    nic = net.nic("a")
+    nic.loss_tolerant = True
+    nic.set_qdisc(NetemQdisc(loss=0.4, seed=3))
+    got = []
+    net.transport("b").listen(6000, got.append)
+    net.transport("a").send_message(
+        Message(flow=FlowKey("a", 1, "b", 6000), size=2000)
+    )
+    sim.run()
+    assert [m.size for m in got] == [2000]
+    tp = net.transport("a")
+    assert tp.segments_lost > 0          # the netem loss actually bit
+    assert tp.segments_retransmitted >= tp.segments_lost
+    assert tp.active_flows == 0          # every window slot was released
+
+
+def test_egress_drop_raises_without_loss_tolerance():
+    """Default NICs still fail loudly on enqueue drops (config bugs must
+    not silently become packet loss)."""
+    from repro.errors import NetworkError
+    from repro.net.qdisc.netem import NetemQdisc
+
+    sim, net = lossy_net(buffer_bytes=None)
+    net.nic("a").set_qdisc(NetemQdisc(loss=0.999, seed=1))
+    net.transport("b").listen(6000, lambda m: None)
+    with pytest.raises(NetworkError):
+        net.transport("a").send_message(
+            Message(flow=FlowKey("a", 1, "b", 6000), size=2000)
+        )
+        sim.run()
+
+
 def test_incast_many_senders_converge():
     """A 4-into-1 incast with a shallow buffer still delivers everything."""
     hosts = ("sink", "s1", "s2", "s3", "s4")

@@ -1,0 +1,111 @@
+"""Controller fault-awareness: host churn, dead-job scrubbing, tc drift."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.dl import DLApplication, JobSpec
+from repro.dl.model_zoo import ModelSpec
+from repro.errors import ConfigError
+from repro.net.link import Link
+from repro.sim import Simulator
+from repro.tensorlights import TensorLights, TLMode
+
+FAST_MODEL = ModelSpec("tiny", n_params=50_000, per_sample_compute=0.01)
+
+
+def setup(n_jobs=3, n_hosts=5, ps_host="h00"):
+    sim = Simulator(seed=1)
+    cluster = Cluster(sim, n_hosts=n_hosts, link=Link(rate=1.25e9),
+                      segment_bytes=64 * 1024)
+    tl = TensorLights(cluster, mode=TLMode.ONE, interval=1.0)
+    apps = []
+    workers = [h for h in cluster.host_ids if h != ps_host][:4]
+    for j in range(n_jobs):
+        spec = JobSpec(f"j{j}", FAST_MODEL, n_workers=len(workers),
+                       target_global_steps=30, arrival_time=0.01 * j)
+        app = DLApplication(spec, cluster, ps_host=ps_host,
+                            worker_hosts=workers)
+        apps.append(app)
+        tl.attach(app)
+    return sim, cluster, tl, apps
+
+
+def test_host_down_wipes_tc_and_host_up_reinstalls():
+    sim, cluster, tl, apps = setup()
+    assert tl.render_commands()                     # contended: HTB installed
+    tl.host_down("h00")
+    assert tl.render_commands() == []               # reboot lost the qdiscs
+    assert all(tl.band_of(a) is None for a in apps)
+    assert tl.reconcile() == 0                      # down host: nothing to fix
+    tl.host_up("h00")
+    assert tl.render_commands()                     # desired state reapplied
+    bands = [tl.band_of(a) for a in apps]
+    assert None not in bands and len(set(bands)) == len(apps)
+
+
+def test_reconcile_scrubs_failed_jobs():
+    sim, cluster, tl, apps = setup()
+    apps[0].failed = True                           # crashed PS, no done signal
+    assert tl.reconcile() == 1
+    assert tl.band_of(apps[0]) is None
+    assert all(tl.band_of(a) is not None for a in apps[1:])
+    assert tl.reconcile() == 0                      # idempotent
+
+
+def test_reconcile_repairs_external_tc_wipe():
+    sim, cluster, tl, apps = setup()
+    tl._hosts["h00"].tc.remove()                    # drift: someone ran tc del
+    assert tl.render_commands() == []
+    assert tl.reconcile() == 1
+    assert tl.render_commands()
+
+
+def test_start_reconciler_validates_and_is_idempotent():
+    sim, cluster, tl, apps = setup()
+    with pytest.raises(ConfigError):
+        tl.start_reconciler(0.0)
+    tl.start_reconciler(0.25)
+    tl.start_reconciler(0.25)                       # second call is a no-op
+    assert tl._reconciler_running
+
+
+def test_ps_host_crash_recovery_reinstalls_bands():
+    """The PR's regression scenario, end to end: the PS host of every job
+    crashes mid-run and recovers — during downtime the rendered tc state
+    is empty, after recovery the HTB bands are back, and at completion
+    ``band_of`` holds no stale entries for departed jobs."""
+    from repro.experiments import ExperimentConfig, Policy, Scenario
+    from repro.experiments.runtime import materialize
+    from repro.faults import FaultPlan, HostCrash, RecoverySpec
+
+    config = ExperimentConfig.tiny(
+        n_jobs=2, n_workers=2, iterations=6, policy=Policy.TLS_ONE,
+    )
+    plan = FaultPlan(
+        faults=(HostCrash(host="h00", at=0.3, recover_after=0.4),),
+        recovery=RecoverySpec(worker_timeout=0.2),
+        reconcile_interval=0.2,
+    )
+    rt = materialize(Scenario(config=config, faults=plan))
+    tl = rt.controller
+    assert tl is not None
+    for app in rt.apps:
+        app.launch()
+
+    assert tl.render_commands()                     # both PSes contend on h00
+
+    rt.sim.run(until=0.5)                           # mid-downtime
+    assert tl.render_commands() == []
+    assert all(tl.band_of(a) is None for a in rt.apps)
+
+    rt.sim.run(until=1.0)                           # after recovery at t=0.7
+    commands = tl.render_commands()
+    assert commands and any("htb" in c for c in commands)
+    bands = [tl.band_of(a) for a in rt.apps]
+    assert None not in bands and len(set(bands)) == len(bands)
+
+    rt.sim.run()                                    # drive to completion
+    assert all(a.done.fired for a in rt.apps)
+    assert all(tl.band_of(a) is None for a in rt.apps)
+    assert tl.render_commands() == []               # departed jobs left no trace
+    assert all(not s.apps and not s.ports for s in tl._hosts.values())
