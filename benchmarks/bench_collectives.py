@@ -1,0 +1,22 @@
+"""TensorLights generality: ring all-reduce and mixed PS+all-reduce clusters."""
+
+from conftest import run_once
+
+from repro.experiments.config import Architecture, Policy
+from repro.experiments.figures import collectives
+
+
+def test_collectives_generality(benchmark, bench_config, bench_campaign):
+    # A network-bound shape: a slower link keeps the rings contending on
+    # the NICs instead of hiding behind per-step compute.
+    cfg = bench_config.replace(link_gbps=1.0)
+    result = run_once(
+        benchmark,
+        lambda: collectives.generate(cfg, campaign=bench_campaign),
+    )
+    print()
+    print(result.render())
+    for arch in (Architecture.ALLREDUCE, Architecture.MIXED):
+        # TensorLights never makes either architecture meaningfully worse.
+        assert result.vs_fifo(arch, Policy.TLS_ONE) < 1.05
+        assert result.vs_fifo(arch, Policy.TLS_RR) < 1.05

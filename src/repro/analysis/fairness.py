@@ -18,11 +18,13 @@ from repro.errors import ConfigError
 def jain_index(values: Sequence[float]) -> float:
     """Jain's fairness index: 1.0 = perfectly equal, 1/n = maximally unequal.
 
-    ``J = (sum x)^2 / (n * sum x^2)`` over non-negative values.
+    ``J = (sum x)^2 / (n * sum x^2)`` over non-negative values.  Degenerate
+    inputs have a defined value instead of raising: an empty population is
+    vacuously fair (1.0), as is all-zero progress — nobody is ahead.
     """
     arr = np.asarray(list(values), dtype=float)
     if arr.size == 0:
-        raise ConfigError("jain_index of zero values")
+        return 1.0  # vacuously fair: nobody to be unfair to
     if (arr < 0).any():
         raise ConfigError("jain_index requires non-negative values")
     denom = arr.size * float(np.square(arr).sum())
@@ -32,7 +34,11 @@ def jain_index(values: Sequence[float]) -> float:
 
 
 def progress_fairness(local_steps: Mapping[str, int]) -> float:
-    """Jain's index over per-job progress (global steps at an instant)."""
+    """Jain's index over per-job progress (global steps at an instant).
+
+    Follows :func:`jain_index`'s degenerate-input convention: no jobs, or
+    all jobs at step zero (e.g. sampled before the first barrier), is 1.0.
+    """
     return jain_index(list(local_steps.values()))
 
 
@@ -45,11 +51,16 @@ def spread(values: Sequence[float]) -> float:
 
 
 def coefficient_of_variation(values: Sequence[float]) -> float:
-    """std / mean — scale-free dispersion of JCTs."""
+    """std / mean — scale-free dispersion of JCTs.
+
+    Degenerate inputs return 0.0 (no dispersion) instead of raising: an
+    empty population has nothing to vary, and a zero-mean population of
+    non-negative JCTs is all zeros.
+    """
     arr = np.asarray(list(values), dtype=float)
     if arr.size == 0:
-        raise ConfigError("cv of zero values")
+        return 0.0  # nothing varies
     mean = arr.mean()
     if mean == 0:
-        raise ConfigError("cv undefined for zero mean")
+        return 0.0  # all-zero population: no dispersion
     return float(arr.std() / mean)

@@ -7,6 +7,7 @@ Examples::
     tensorlights fig5a --placements 1 4 8 --parallel 4 --progress
     tensorlights fig5b --batches 1 4 16 --cache
     tensorlights table2 --seed 7
+    tensorlights collectives --link-rate 1Gbit        # all-reduce generality
     tensorlights run --placement 1 --policy tls-one   # one raw experiment
 
 ``--parallel N`` fans independent runs out over N worker processes;
@@ -27,8 +28,9 @@ from repro.experiments.campaign import (
     ParallelExecutor,
     ResultCache,
 )
-from repro.experiments.config import ExperimentConfig, Policy
+from repro.experiments.config import Architecture, ExperimentConfig, Policy
 from repro.experiments.scenario import Scenario
+from repro.units import parse_rate, parse_size
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -49,6 +51,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                                           "worker NICs")
     parser.add_argument("--netem-jitter", type=float, default=None,
                         metavar="S", help="uniform jitter on --netem-delay")
+    parser.add_argument("--link-rate", type=str, default=None, metavar="RATE",
+                        help='host link rate, e.g. "10Gbit" or "2.5 Gbps"')
+    parser.add_argument("--switch-buffer", type=str, default=None,
+                        metavar="SIZE",
+                        help='per-switch-port egress buffer, e.g. "4MB" or '
+                             '"512KiB"')
     parser.add_argument("--paper-scale", action="store_true",
                         help="full 30000 global steps (slow)")
 
@@ -120,6 +128,10 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
         overrides["netem_delay"] = args.netem_delay
     if getattr(args, "netem_jitter", None) is not None:
         overrides["netem_jitter"] = args.netem_jitter
+    if getattr(args, "link_rate", None) is not None:
+        overrides["link_gbps"] = parse_rate(args.link_rate) * 8.0 / 1e9
+    if getattr(args, "switch_buffer", None) is not None:
+        overrides["switch_buffer_bytes"] = float(parse_size(args.switch_buffer))
     return cfg.replace(**overrides) if overrides else cfg
 
 
@@ -174,6 +186,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--crash-recover", type=float, default=0.5,
                    help="downtime before the PS restarts from checkpoint")
 
+    p = sub.add_parser(
+        "collectives",
+        help="TensorLights generality: all-reduce-only and mixed "
+             "PS+all-reduce clusters, per policy",
+    )
+    _add_common(p)
+    _add_campaign(p)
+    p.add_argument("--architectures", nargs="+",
+                   choices=[Architecture.ALLREDUCE.value,
+                            Architecture.MIXED.value],
+                   default=[Architecture.ALLREDUCE.value,
+                            Architecture.MIXED.value])
+    p.add_argument("--policies", nargs="+",
+                   choices=[pol.value for pol in Policy],
+                   default=["fifo", "tls-one", "tls-rr"])
+    p.add_argument("--allreduce-fraction", type=float, default=None,
+                   metavar="F",
+                   help="fraction of jobs that become rings under mixed")
+    p.add_argument("--channels", type=int, default=None, metavar="N",
+                   help="concurrent chunk channels per ring member")
+
     p = sub.add_parser("run", help="run one raw experiment")
     _add_common(p)
     _add_campaign(p)
@@ -204,6 +237,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             ps_crash=args.ps_crash,
             crash_at=args.crash_at,
             crash_recover=args.crash_recover,
+            campaign=_campaign(args),
+        )
+        print(result.render())
+        return 0
+
+    if args.command == "collectives":
+        from repro.experiments.figures import collectives
+
+        if args.allreduce_fraction is not None:
+            cfg = cfg.replace(allreduce_fraction=args.allreduce_fraction)
+        if args.channels is not None:
+            cfg = cfg.replace(allreduce_channels=args.channels)
+        result = collectives.generate(
+            cfg,
+            architectures=tuple(Architecture(a) for a in args.architectures),
+            policies=tuple(Policy(p) for p in args.policies),
             campaign=_campaign(args),
         )
         print(result.render())

@@ -46,6 +46,22 @@ class Host:
         self._next_port += 1
         return port
 
+    def allocate_port_range(self, width: int) -> tuple[int, int]:
+        """Reserve ``width`` contiguous ports; returns inclusive ``(lo, hi)``.
+
+        Ring all-reduce members listen on a *range* (one port per chunk
+        channel) so TensorLights can classify all of a job's egress flows
+        on this host with a single range filter — the NCCL-style
+        port-range convention (see docs/collectives.md).
+        """
+        if width < 1:
+            raise PlacementError(
+                f"{self.host_id}: port range width must be >= 1, got {width}"
+            )
+        lo = self._next_port
+        self._next_port += width
+        return lo, lo + width - 1
+
     def add_task(self, task: object) -> None:
         self.tasks.append(task)
 

@@ -119,6 +119,32 @@ class ClusterScheduler:
             self.task_load[h] += 1
         return chosen
 
+    # -- ring all-reduce placement ----------------------------------------
+
+    def ring_hosts(self, n_members: int) -> List[str]:
+        """Pick ``n_members`` distinct hosts for a ring all-reduce job.
+
+        Least-loaded hosts first (ties by host id), mirroring ``spread``:
+        an all-reduce job has no PS, so the scheduler just balances the
+        member tasks.  The returned order *is* the ring order — member
+        ``i`` sends its chunks to member ``(i + 1) % N``.
+        """
+        if n_members > len(self.host_ids):
+            raise PlacementError(
+                f"ring of {n_members} members needs {n_members} distinct "
+                f"hosts, cluster has {len(self.host_ids)}"
+            )
+        chosen = sorted(self.host_ids, key=lambda h: (self.task_load[h], h))
+        chosen = chosen[:n_members]
+        for h in chosen:
+            self.task_load[h] += 1
+        return chosen
+
+    def release_ring(self, member_hosts: Sequence[str]) -> None:
+        """Return a finished all-reduce job's load accounting."""
+        for h in member_hosts:
+            self.task_load[h] -= 1
+
     def release_job(self, ps_host: str, worker_hosts: Sequence[str]) -> None:
         """Return a finished job's load accounting."""
         self.task_load[ps_host] -= 1

@@ -1,0 +1,26 @@
+"""Collective-communication workloads: chunked ring all-reduce.
+
+The paper evaluates TensorLights only on parameter-server jobs; this
+package adds the ring all-reduce architecture so the repo can ask whether
+end-host per-job priorities still break the straggler/barrier loop when
+the contention is ring-shaped (every host both sends and receives update
+traffic) instead of PS-fan-out.  See docs/collectives.md.
+
+* :class:`RingAllReduceTask` — one ring member: 2·(N−1) chunk exchanges
+  per iteration over the existing transport layer;
+* :class:`AllReduceApplication` — the job wrapper, protocol-compatible
+  with :class:`~repro.dl.application.DLApplication` (same ``JobSpec`` /
+  ``JobMetrics`` surface, same TensorLights attach protocol);
+* :class:`RingEndpoint` — a member's host + contiguous source-port range,
+  the unit of TensorLights' port-range flow classification.
+"""
+
+from repro.collectives.app import AllReduceApplication
+from repro.collectives.ring import RING_CHUNK, RingAllReduceTask, RingEndpoint
+
+__all__ = [
+    "AllReduceApplication",
+    "RING_CHUNK",
+    "RingAllReduceTask",
+    "RingEndpoint",
+]

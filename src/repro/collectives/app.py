@@ -1,0 +1,158 @@
+"""Wires one ring all-reduce job onto the cluster.
+
+:class:`AllReduceApplication` is the all-reduce twin of
+:class:`~repro.dl.application.DLApplication`: same :class:`JobSpec`
+surface (``architecture="allreduce"``, ``n_workers`` = ring size), same
+:class:`~repro.dl.metrics.JobMetrics` / barrier-wait accounting, and the
+same controller-facing protocol (``classification_ranges()``, ``done``,
+``failed``), so TensorLights, the experiment runtime, and every figure
+treat the two architectures uniformly.
+
+The key difference is *where* the job's traffic concentrates: a PS job's
+update fan-out leaves one (PS) host, while an all-reduce job sends from
+**every** member host.  Each member therefore reserves a contiguous port
+range on its host (one port per chunk channel) and TensorLights bands
+that range on each host — the port-range flow classification scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.collectives.ring import RingAllReduceTask, RingEndpoint
+from repro.dl.job import JobSpec
+from repro.dl.metrics import JobMetrics
+from repro.errors import PlacementError
+from repro.sim.primitives import AllOf, Signal
+from repro.sim.process import Process, Timeout
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+
+
+class AllReduceApplication:
+    """A deployed ring all-reduce training job.
+
+    Construction allocates one port range per member and registers
+    listeners; :meth:`launch` spawns the member processes (honoring
+    ``spec.arrival_time``).  ``member_hosts`` fixes both placement and
+    ring order (ring order = placement order): member ``i`` sends to
+    member ``(i+1) % N``.
+
+    Args:
+        spec: the job (``architecture="allreduce"``; ``n_workers`` is the
+            ring size N).
+        cluster: where to deploy.
+        member_hosts: one distinct host per ring member, in ring order.
+        channels: chunk channels per member — the width of each member's
+            source-port range (chunks stripe round-robin over channels).
+    """
+
+    def __init__(
+        self,
+        spec: JobSpec,
+        cluster: "Cluster",
+        member_hosts: List[str],
+        channels: int = 1,
+    ) -> None:
+        if spec.architecture != "allreduce":
+            raise PlacementError(
+                f"{spec.job_id}: AllReduceApplication needs "
+                f"architecture='allreduce', got {spec.architecture!r}"
+            )
+        if len(member_hosts) != spec.n_workers:
+            raise PlacementError(
+                f"{spec.job_id}: ring size {spec.n_workers} but "
+                f"{len(member_hosts)} member hosts"
+            )
+        if len(set(member_hosts)) != len(member_hosts):
+            raise PlacementError(
+                f"{spec.job_id}: ring members must live on distinct hosts "
+                f"(got {member_hosts})"
+            )
+        if channels < 1:
+            raise PlacementError(f"{spec.job_id}: channels must be >= 1")
+        self.spec = spec
+        self.cluster = cluster
+        self.channels = channels
+        #: controller-protocol parity with DLApplication (the TensorLights
+        #: reconciler treats a failed job like a departed one)
+        self.failed = False
+        self.metrics = JobMetrics(
+            job_id=spec.job_id,
+            n_workers=spec.n_workers,
+            arrival_time=spec.arrival_time,
+        )
+
+        self.member_endpoints: List[RingEndpoint] = []
+        for hid in member_hosts:
+            machine = cluster.host(hid)
+            lo, hi = machine.allocate_port_range(channels)
+            self.member_endpoints.append(RingEndpoint(machine, lo, hi))
+
+        self.members = [
+            RingAllReduceTask(spec, i, ep, self.member_endpoints, self.metrics)
+            for i, ep in enumerate(self.member_endpoints)
+        ]
+        self.member_procs: List[Optional[Process]] = []
+        for ep, member in zip(self.member_endpoints, self.members):
+            ep.host.add_task(member)
+
+        #: fired with the job's JobMetrics when every member has finished
+        self.done = Signal()
+        self._launched = False
+
+    # -- controller-facing protocol (shared with DLApplication) -------------
+
+    def classification_ranges(self) -> Dict[str, List[Tuple[int, int]]]:
+        """Source-port ranges carrying this job's egress traffic, per host.
+
+        One inclusive ``(lo, hi)`` range per member host — what
+        TensorLights installs a range filter for (the PS architecture
+        returns degenerate single-port ranges on PS hosts only).
+        """
+        return {
+            ep.host_id: [(ep.port_lo, ep.port_hi)]
+            for ep in self.member_endpoints
+        }
+
+    @property
+    def member_hosts(self) -> List[str]:
+        """Member host ids in ring order."""
+        return [ep.host_id for ep in self.member_endpoints]
+
+    @property
+    def ps_host_id(self) -> str:
+        """The leader (member 0) host — result-schema parity with PS jobs.
+
+        :class:`~repro.experiments.runtime.ExperimentResult` records one
+        anchor host per job; for a ring that is the leader's host.
+        """
+        return self.member_endpoints[0].host_id
+
+    def launch(self) -> None:
+        """Spawn all member processes at ``spec.arrival_time``."""
+        if self._launched:
+            raise PlacementError(f"{self.spec.job_id} already launched")
+        self._launched = True
+        sim = self.cluster.sim
+
+        def delayed(task_gen, delay):
+            if delay > 0:
+                yield Timeout(delay)
+            yield from task_gen
+
+        delay = max(0.0, self.spec.arrival_time - sim.now)
+        for member in self.members:
+            self.member_procs.append(
+                sim.spawn(delayed(member.run(), delay), name=member.name)
+            )
+
+        def finalize():
+            yield AllOf([m.done for m in self.members])
+            for ep, member in zip(self.member_endpoints, self.members):
+                member.close()
+                ep.host.remove_task(member)
+            self.done.fire(self.metrics)
+
+        sim.spawn(finalize(), name=f"{self.spec.job_id}/finalize")

@@ -101,6 +101,22 @@ class DLApplication:
         self.done = Signal()
         self._launched = False
 
+    # -- controller-facing protocol (shared with AllReduceApplication) -------
+
+    def classification_ranges(self) -> "dict[str, List[tuple[int, int]]]":
+        """Source-port ranges carrying this job's egress traffic, per host.
+
+        For the PS architecture these are degenerate single-port ranges
+        — one ``(port, port)`` per PS endpoint, on PS hosts only.  The
+        same protocol on :class:`~repro.collectives.AllReduceApplication`
+        yields one true range per member host, which is what lets
+        TensorLights band both architectures uniformly.
+        """
+        out: "dict[str, List[tuple[int, int]]]" = {}
+        for ep in self.ps_endpoints:
+            out.setdefault(ep.host_id, []).append((ep.port, ep.port))
+        return out
+
     # -- convenience (single-PS common case) --------------------------------
 
     @property

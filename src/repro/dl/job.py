@@ -32,6 +32,11 @@ class JobSpec:
             (1.0 = uncompressed; 0.25 = 4x compression a la QSGD/TernGrad,
             the paper's related work §VI).  Applied to both model and
             gradient updates; compression compute cost is not modeled.
+        architecture: communication architecture — ``"ps"`` (parameter
+            server, the paper's workload) or ``"allreduce"`` (chunked ring
+            all-reduce, see :mod:`repro.collectives`).  In all-reduce mode
+            ``n_workers`` counts ring members (there is no separate PS
+            task) and ``n_ps`` must stay 1.
     """
 
     job_id: str
@@ -44,8 +49,30 @@ class JobSpec:
     compute_jitter_sigma: float = 0.03
     n_ps: int = 1
     compression_ratio: float = 1.0
+    architecture: str = "ps"
 
     def __post_init__(self) -> None:
+        if self.architecture not in ("ps", "allreduce"):
+            raise WorkloadError(
+                f"{self.job_id}: architecture must be 'ps' or 'allreduce', "
+                f"got {self.architecture!r}"
+            )
+        if self.architecture == "allreduce":
+            if self.n_workers < 2:
+                raise WorkloadError(
+                    f"{self.job_id}: a ring needs >= 2 members, got "
+                    f"{self.n_workers}"
+                )
+            if self.n_ps != 1:
+                raise WorkloadError(
+                    f"{self.job_id}: all-reduce jobs have no PS shards "
+                    f"(n_ps must stay 1, got {self.n_ps})"
+                )
+            if not self.sync:
+                raise WorkloadError(
+                    f"{self.job_id}: ring all-reduce is a synchronous "
+                    "collective (sync must stay True)"
+                )
         if self.n_workers < 1:
             raise WorkloadError(f"{self.job_id}: n_workers must be >= 1")
         if self.local_batch_size < 1:
@@ -102,3 +129,20 @@ class JobSpec:
     def ps_update_compute_per_shard(self) -> float:
         """Core-seconds for one PS to fold one worker's gradient shard."""
         return self.model.ps_update_compute / self.n_ps
+
+    @property
+    def ring_chunk_bytes(self) -> int:
+        """Wire bytes of one ring all-reduce chunk.
+
+        Chunked ring all-reduce splits the update into ``n_workers``
+        (= ring size) chunks; each of the 2·(N−1) steps moves one chunk
+        to the ring successor, so per iteration every member link carries
+        ``2·(N−1)/N · update_bytes`` — less than the PS architecture's
+        per-worker-link volume, but on *every* host.
+        """
+        return max(
+            1,
+            math.ceil(
+                self.model.update_bytes * self.compression_ratio / self.n_workers
+            ),
+        )

@@ -25,12 +25,13 @@ from repro.experiments.campaign import (
     ResultCache,
     SerialExecutor,
 )
-from repro.experiments.config import ExperimentConfig, Policy
+from repro.experiments.config import Architecture, ExperimentConfig, Policy
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.experiments.runtime import execute_scenario, materialize
 from repro.experiments.scenario import Scenario, scenario_grid
 
 __all__ = [
+    "Architecture",
     "Campaign",
     "CampaignEvent",
     "CampaignFailure",

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import math
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -35,6 +36,21 @@ class Policy(str, enum.Enum):
     DRR = "drr"
 
 
+class Architecture(str, enum.Enum):
+    """Which distributed-training architecture the cluster's jobs use.
+
+    ``PS`` is the paper's parameter-server fan-out; ``ALLREDUCE`` replaces
+    every job with a chunked ring all-reduce (:mod:`repro.collectives`);
+    ``MIXED`` runs both side by side — ``allreduce_fraction`` of the jobs
+    become rings, the rest stay PS — to study TensorLights' generality
+    beyond the architecture it was designed for.
+    """
+
+    PS = "ps"
+    ALLREDUCE = "allreduce"
+    MIXED = "mixed"
+
+
 @dataclass(frozen=True)
 class ExperimentConfig:
     """All knobs of one experiment run."""
@@ -55,6 +71,16 @@ class ExperimentConfig:
     n_ps: int = 1
     #: fraction of update bytes actually sent (1.0 = uncompressed; A9)
     compression_ratio: float = 1.0
+
+    # architecture
+    #: training architecture of the cluster's jobs (PS / ring all-reduce /
+    #: a mix of both); non-PS jobs are placed by the spread scheduler, not
+    #: by the Table I placement
+    architecture: Architecture = Architecture.PS
+    #: fraction of jobs that become all-reduce rings under ``MIXED``
+    allreduce_fraction: float = 0.5
+    #: concurrent chunk channels (source ports) per ring member
+    allreduce_channels: int = 1
 
     # placement
     placement_index: int = 1        # Table I index
@@ -109,6 +135,33 @@ class ExperimentConfig:
             raise ConfigError("netem_loss must be in [0, 1)")
         if self.netem_delay < 0 or self.netem_jitter < 0:
             raise ConfigError("netem delay/jitter must be >= 0")
+        if not 0.0 < self.allreduce_fraction <= 1.0:
+            raise ConfigError("allreduce_fraction must be in (0, 1]")
+        if self.allreduce_channels < 1:
+            raise ConfigError("allreduce_channels must be >= 1")
+        if self.architecture != Architecture.PS:
+            if self.n_workers < 2:
+                raise ConfigError(
+                    "ring all-reduce needs n_workers >= 2 members"
+                )
+            if self.n_ps != 1:
+                raise ConfigError(
+                    "n_ps shards only apply to the PS architecture"
+                )
+            if not self.sync:
+                raise ConfigError(
+                    "ring all-reduce is synchronous (sync must stay True)"
+                )
+            if self.policy == Policy.DRR:
+                raise ConfigError(
+                    "the DRR ablation targets contended PS hosts; use the "
+                    "ps architecture"
+                )
+            if self.netem_loss > 0 or self.netem_delay > 0:
+                raise ConfigError(
+                    "netem impairment targets worker-only hosts, which the "
+                    "ring architectures do not have"
+                )
 
     # -- derived -----------------------------------------------------------
 
@@ -127,6 +180,25 @@ class ExperimentConfig:
 
     def placement(self) -> PlacementSpec:
         return placement_by_index(self.placement_index, n_jobs=self.n_jobs)
+
+    def allreduce_jobs(self) -> frozenset:
+        """Job indices that run as all-reduce rings under this config.
+
+        Deterministic in the config alone (no RNG): under ``MIXED``, job
+        ``j`` is a ring iff ``floor((j+1)·f) > floor(j·f)`` with ``f =
+        allreduce_fraction`` — the Bresenham-style spacing that puts
+        ``round(n·f)`` rings evenly through the arrival order.
+        """
+        arch = Architecture(self.architecture)
+        if arch == Architecture.PS:
+            return frozenset()
+        if arch == Architecture.ALLREDUCE:
+            return frozenset(range(self.n_jobs))
+        f = self.allreduce_fraction
+        return frozenset(
+            j for j in range(self.n_jobs)
+            if math.floor((j + 1) * f) > math.floor(j * f)
+        )
 
     # -- presets ----------------------------------------------------------
 

@@ -6,6 +6,7 @@ report, so benchmarks print the same rows/series the paper plots.
 """
 
 from repro.experiments.figures import (  # noqa: F401
+    collectives,
     fct,
     fig1,
     fig2,
@@ -19,5 +20,5 @@ from repro.experiments.figures import (  # noqa: F401
     table2,
 )
 
-__all__ = ["fct", "fig1", "fig2", "fig3", "fig4", "fig5a", "fig5b", "fig6",
-           "robustness", "table1", "table2"]
+__all__ = ["collectives", "fct", "fig1", "fig2", "fig3", "fig4", "fig5a",
+           "fig5b", "fig6", "robustness", "table1", "table2"]

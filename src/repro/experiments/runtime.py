@@ -19,19 +19,22 @@ its hooks instead of re-building clusters by hand — see
 
 from __future__ import annotations
 
+import math
 import time
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
 
 import numpy as np
 
 from repro.cluster import Cluster, ClusterScheduler, default_host_ids
+from repro.cluster.scheduler import SchedulingPolicy
+from repro.collectives import AllReduceApplication
 from repro.dl import DLApplication, JobSpec
 from repro.dl.metrics import JobMetrics
 from repro.dl.model_zoo import get_model
 from repro.errors import ConfigError, FaultError
-from repro.experiments.config import ExperimentConfig, Policy
+from repro.experiments.config import Architecture, ExperimentConfig, Policy
 from repro.experiments.scenario import Scenario
 from repro.faults import FaultInjector
 from repro.net.link import Link
@@ -140,8 +143,10 @@ class Runtime:
     sim: Simulator
     cluster: Cluster
     scheduler: ClusterScheduler
+    #: each job's anchor host — its (first) PS host, or for an all-reduce
+    #: job the ring leader's host
     ps_hosts: List[str]
-    apps: List[DLApplication]
+    apps: List[Union[DLApplication, AllReduceApplication]]
     controller: Optional[TensorLights]
     samplers: Dict[str, HostSampler]
     _wall_start: float
@@ -239,13 +244,22 @@ def materialize(
     )
     if on_cluster is not None:
         on_cluster(cluster)
-    spec = scenario.placement if scenario.placement is not None else config.placement()
-    if spec.n_jobs != config.n_jobs:
-        raise ConfigError(
-            f"placement covers {spec.n_jobs} jobs, config has {config.n_jobs}"
+    arch = Architecture(config.architecture)
+    explicit_ps_hosts: List[str] = []
+    if arch == Architecture.PS:
+        spec = scenario.placement if scenario.placement is not None else config.placement()
+        if spec.n_jobs != config.n_jobs:
+            raise ConfigError(
+                f"placement covers {spec.n_jobs} jobs, config has {config.n_jobs}"
+            )
+        scheduler = ClusterScheduler(cluster.host_ids)
+        explicit_ps_hosts = scheduler.ps_hosts_for_placement(spec)
+    else:
+        # Ring architectures have no Table I analogue: members (and any
+        # mixed-in PS jobs) are placed by the load-balancing scheduler.
+        scheduler = ClusterScheduler(
+            cluster.host_ids, policy=SchedulingPolicy.SPREAD
         )
-    scheduler = ClusterScheduler(cluster.host_ids)
-    ps_hosts = scheduler.ps_hosts_for_placement(spec)
 
     model = get_model(config.model)
     if config.model_compute_factor != 1.0:
@@ -273,8 +287,11 @@ def materialize(
             f"(got n_ps={config.n_ps}, sync={config.sync})"
         )
 
-    apps: List[DLApplication] = []
+    ring_jobs = config.allreduce_jobs()
+    apps: List[Union[DLApplication, AllReduceApplication]] = []
+    ps_hosts: List[str] = []  # per-job anchor host (PS host / ring leader)
     for j in range(config.n_jobs):
+        ring = j in ring_jobs
         job_spec = JobSpec(
             job_id=f"job{j:02d}",
             model=model,
@@ -286,12 +303,24 @@ def materialize(
             compute_jitter_sigma=config.compute_jitter_sigma,
             n_ps=config.n_ps,
             compression_ratio=config.compression_ratio,
+            architecture="allreduce" if ring else "ps",
         )
-        worker_hosts = scheduler.worker_hosts(ps_hosts[j], config.n_workers)
-        app = DLApplication(job_spec, cluster, ps_hosts[j], worker_hosts,
-                            recovery=recovery)
+        app: Union[DLApplication, AllReduceApplication]
+        if ring:
+            member_hosts = scheduler.ring_hosts(config.n_workers)
+            app = AllReduceApplication(
+                job_spec, cluster, member_hosts,
+                channels=config.allreduce_channels,
+            )
+        else:
+            ps_host = (explicit_ps_hosts[j] if arch == Architecture.PS
+                       else scheduler.pick_ps_host())
+            worker_hosts = scheduler.worker_hosts(ps_host, config.n_workers)
+            app = DLApplication(job_spec, cluster, ps_host, worker_hosts,
+                                recovery=recovery)
         if controller is not None:
             controller.attach(app)
+        ps_hosts.append(app.ps_host_id)
         apps.append(app)
 
     if config.policy == Policy.DRR:

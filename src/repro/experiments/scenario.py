@@ -24,19 +24,21 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cluster.placement import PlacementSpec
 from repro.errors import ConfigError
-from repro.experiments.config import ExperimentConfig, Policy
+from repro.experiments.config import Architecture, ExperimentConfig, Policy
 from repro.faults.plan import FaultPlan, plan_from_dict
 
 #: Bumped whenever scenario execution semantics change in a way that makes
 #: previously cached results stale (part of every cache key).
 #: 2: scenarios gained a fault plan and configs gained netem fields.
-SCENARIO_SCHEMA = 2
+#: 3: configs gained the training architecture (PS / all-reduce / mixed).
+SCENARIO_SCHEMA = 3
 
 
 def config_to_dict(config: ExperimentConfig) -> Dict[str, Any]:
     """A JSON-safe dict of every config field (enums as their values)."""
     out = dataclasses.asdict(config)
     out["policy"] = config.policy.value
+    out["architecture"] = Architecture(config.architecture).value
     return out
 
 
@@ -52,6 +54,8 @@ def config_from_dict(data: Mapping[str, Any]) -> ExperimentConfig:
         raise ConfigError(f"unknown config fields {sorted(unknown)}")
     kwargs = dict(data)
     kwargs["policy"] = Policy(kwargs["policy"])
+    if "architecture" in kwargs:
+        kwargs["architecture"] = Architecture(kwargs["architecture"])
     return ExperimentConfig(**kwargs)
 
 
@@ -83,6 +87,19 @@ class Scenario:
                 f"placement covers {self.placement.n_jobs} jobs, "
                 f"config has {self.config.n_jobs}"
             )
+        if self.config.architecture != Architecture.PS:
+            if self.placement is not None:
+                raise ConfigError(
+                    "placement overrides describe PS hosts; the "
+                    f"{Architecture(self.config.architecture).value} "
+                    "architecture places rings with the spread scheduler"
+                )
+            if self.faults is not None:
+                raise ConfigError(
+                    "fault plans target PS tasks; not supported for the "
+                    f"{Architecture(self.config.architecture).value} "
+                    "architecture"
+                )
 
     # -- tags --------------------------------------------------------------
 
@@ -104,6 +121,10 @@ class Scenario:
         """A short human-readable identity for progress displays."""
         if self.tags:
             return " ".join(f"{k}={v}" for k, v in self.tags)
+        arch = Architecture(self.config.architecture)
+        if arch != Architecture.PS:
+            return (f"arch={arch.value} policy={self.config.policy.value} "
+                    f"seed={self.config.seed}")
         spec = self.placement
         where = spec.describe() if spec else f"#{self.config.placement_index}"
         faulted = f" faults={len(self.faults.faults)}" if self.faults else ""

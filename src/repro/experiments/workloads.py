@@ -16,11 +16,12 @@ roles.  This module generates such streams and runs them end to end:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.cluster import Cluster, ClusterScheduler, SchedulingPolicy
+from repro.collectives import AllReduceApplication
 from repro.dl import DLApplication, JobSpec
 from repro.dl.model_zoo import ModelSpec, get_model
 from repro.errors import WorkloadError
@@ -43,6 +44,9 @@ class WorkloadSpec:
             departures.
         n_workers: workers per job.
         local_batch_size: samples per worker step.
+        architectures: (architecture, weight) mix over ``"ps"`` and
+            ``"allreduce"`` — production clusters run both side by side,
+            and TensorLights must band whatever arrives.
     """
 
     n_jobs: int = 12
@@ -51,6 +55,7 @@ class WorkloadSpec:
     iterations_range: Tuple[int, int] = (10, 30)
     n_workers: int = 10
     local_batch_size: int = 4
+    architectures: Tuple[Tuple[str, float], ...] = (("ps", 1.0),)
 
     def __post_init__(self) -> None:
         if self.n_jobs < 1:
@@ -62,6 +67,17 @@ class WorkloadSpec:
         lo, hi = self.iterations_range
         if not 1 <= lo <= hi:
             raise WorkloadError(f"bad iterations_range {self.iterations_range}")
+        if not self.architectures:
+            raise WorkloadError("need at least one architecture in the mix")
+        for arch, weight in self.architectures:
+            if arch not in ("ps", "allreduce"):
+                raise WorkloadError(f"unknown architecture {arch!r} in mix")
+            if weight < 0:
+                raise WorkloadError(f"negative weight for {arch!r}")
+            if arch == "allreduce" and weight > 0 and self.n_workers < 2:
+                raise WorkloadError(
+                    "all-reduce jobs need n_workers >= 2 ring members"
+                )
 
 
 def generate_jobs(
@@ -72,6 +88,9 @@ def generate_jobs(
     names = [m for m, _ in spec.models]
     weights = np.array([w for _, w in spec.models], dtype=float)
     weights /= weights.sum()
+    arch_names = [a for a, _ in spec.architectures]
+    arch_weights = np.array([w for _, w in spec.architectures], dtype=float)
+    arch_weights /= arch_weights.sum()
     lo, hi = spec.iterations_range
 
     jobs: List[JobSpec] = []
@@ -83,6 +102,10 @@ def generate_jobs(
         if model_overrides and name in model_overrides:
             model = model_overrides[name]
         iterations = int(rng.integers(lo, hi + 1))
+        # A single-entry mix draws nothing, keeping pre-existing
+        # pure-PS streams bit-identical for a given seed.
+        arch = (arch_names[0] if len(arch_names) == 1 else
+                arch_names[int(rng.choice(len(arch_names), p=arch_weights))])
         jobs.append(
             JobSpec(
                 job_id=f"job{i:03d}",
@@ -91,6 +114,7 @@ def generate_jobs(
                 local_batch_size=spec.local_batch_size,
                 target_global_steps=iterations * spec.n_workers,
                 arrival_time=t,
+                architecture=arch,
             )
         )
     return jobs
@@ -138,7 +162,7 @@ def run_dynamic_cluster(
         if tensorlights is not None
         else None
     )
-    apps: List[DLApplication] = []
+    apps: List[Union[DLApplication, AllReduceApplication]] = []
     max_coloc = {"v": 0}
 
     def submitter():
@@ -146,23 +170,34 @@ def run_dynamic_cluster(
             delay = job.arrival_time - sim.now
             if delay > 0:
                 yield Timeout(delay)
-            ps_host = scheduler.pick_ps_host()
-            worker_hosts = scheduler.worker_hosts(ps_host, job.n_workers)
-            profile = scheduler.colocation_profile()
-            max_coloc["v"] = max(max_coloc["v"], max(profile))
             # the job starts now — online semantics, not a prescheduled time
             import dataclasses
 
             live_spec = dataclasses.replace(job, arrival_time=sim.now)
-            app = DLApplication(live_spec, cluster, ps_host, worker_hosts)
+            app: Union[DLApplication, AllReduceApplication]
+            if job.architecture == "allreduce":
+                member_hosts = scheduler.ring_hosts(job.n_workers)
+                app = AllReduceApplication(live_spec, cluster, member_hosts)
+
+                def release(app=app, member_hosts=member_hosts):
+                    yield app.done
+                    scheduler.release_ring(member_hosts)
+
+            else:
+                ps_host = scheduler.pick_ps_host()
+                worker_hosts = scheduler.worker_hosts(ps_host, job.n_workers)
+                app = DLApplication(live_spec, cluster, ps_host, worker_hosts)
+
+                def release(app=app, ps_host=ps_host, worker_hosts=worker_hosts):
+                    yield app.done
+                    scheduler.release_job(ps_host, worker_hosts)
+
+            profile = scheduler.colocation_profile()
+            max_coloc["v"] = max(max_coloc["v"], max(profile, default=0))
             if controller is not None:
                 controller.attach(app)
             app.launch()
             apps.append(app)
-
-            def release(app=app, ps_host=ps_host, worker_hosts=worker_hosts):
-                yield app.done
-                scheduler.release_job(ps_host, worker_hosts)
 
             sim.spawn(release(), name=f"release/{job.job_id}")
 

@@ -7,8 +7,9 @@ lifetime of the job (paper §V, Implementation).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
+from repro.errors import TcError
 from repro.net.packet import Segment
 
 
@@ -23,12 +24,18 @@ class PortFilter(FlowFilter):
     """Classify by source port (and optionally destination port).
 
     ``add_match(port, classid)`` mirrors
-    ``tc filter add ... match ip sport <port> ... flowid 1:<classid>``.
+    ``tc filter add ... match ip sport <port> ... flowid 1:<classid>``;
+    ``add_range_match(lo, hi, classid)`` mirrors a flower source-port
+    range filter (``... flower ip_proto tcp src_port <lo>-<hi>``), the
+    scheme ring all-reduce jobs are classified with: one range covers
+    every chunk channel a member sends from on its host.
     """
 
     def __init__(self, default_class: Optional[int] = None) -> None:
         self._by_src: Dict[int, int] = {}
         self._by_dst: Dict[int, int] = {}
+        #: (lo, hi) inclusive source-port ranges, first match wins
+        self._src_ranges: List[Tuple[int, int, int]] = []
         self.default_class = default_class
 
     def add_match(self, port: int, classid: int, direction: str = "src") -> None:
@@ -39,11 +46,25 @@ class PortFilter(FlowFilter):
         table = self._by_src if direction == "src" else self._by_dst
         table.pop(port, None)
 
+    def add_range_match(self, lo: int, hi: int, classid: int) -> None:
+        """Classify source ports in inclusive ``[lo, hi]`` (add or move)."""
+        if lo > hi:
+            raise TcError(f"bad port range {lo}-{hi}")
+        self.remove_range_match(lo, hi)
+        self._src_ranges.append((lo, hi, classid))
+
+    def remove_range_match(self, lo: int, hi: int) -> None:
+        """Remove the exact range ``[lo, hi]`` if present."""
+        self._src_ranges = [r for r in self._src_ranges if r[:2] != (lo, hi)]
+
     def classify(self, seg: Segment) -> Optional[int]:
         flow = seg.flow
         classid = self._by_src.get(flow.src_port)
         if classid is not None:
             return classid
+        for lo, hi, range_class in self._src_ranges:
+            if lo <= flow.src_port <= hi:
+                return range_class
         classid = self._by_dst.get(flow.dst_port)
         if classid is not None:
             return classid
@@ -51,4 +72,4 @@ class PortFilter(FlowFilter):
 
     @property
     def n_matches(self) -> int:
-        return len(self._by_src) + len(self._by_dst)
+        return len(self._by_src) + len(self._by_dst) + len(self._src_ranges)

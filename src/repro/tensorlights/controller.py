@@ -1,10 +1,13 @@
 """The TensorLights controller: TLs-One and TLs-RR.
 
-Per PS host with *contending* PSes (two or more), the controller installs
-the HTB priority configuration via :class:`~repro.tensorlights.tc.Tc` and
-maps each job's PS port to a band.  Hosts without contention are left
-untouched — exactly the paper's deployment ("we only need to configure tc
-on the hosts with contending PSes and leave other hosts unchanged").
+Per host with *contending* jobs (two or more classified senders — PS
+tasks, ring all-reduce members, or a mix), the controller installs the
+HTB priority configuration via :class:`~repro.tensorlights.tc.Tc` and
+maps each job's source ports to a band: a PS job by its PS port(s), an
+all-reduce job by its member's port range on every member host (see
+:mod:`repro.collectives`).  Hosts without contention are left untouched —
+exactly the paper's deployment ("we only need to configure tc on the
+hosts with contending PSes and leave other hosts unchanged").
 
 * **TLs-One**: the ranking is computed once per membership change (job
   arrival or departure) and otherwise left alone.
@@ -17,7 +20,7 @@ on the hosts with contending PSes and leave other hosts unchanged").
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional, Set, TYPE_CHECKING
+from typing import Dict, List, Optional, Set, Tuple, Union, TYPE_CHECKING
 
 from repro.errors import ConfigError
 from repro.sim.process import Timeout
@@ -27,7 +30,12 @@ from repro.tensorlights.tc import Tc
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.cluster import Cluster
+    from repro.collectives.app import AllReduceApplication
     from repro.dl.application import DLApplication
+
+    #: anything exposing the classification protocol: ``spec``, ``done``,
+    #: ``failed`` and ``classification_ranges()``
+    Application = Union["DLApplication", "AllReduceApplication"]
 
 
 class TLMode(str, enum.Enum):
@@ -38,16 +46,18 @@ class TLMode(str, enum.Enum):
 
 
 class _HostState:
-    """Per-PS-host controller state."""
+    """Per-controlled-host state (PS hosts and all-reduce member hosts)."""
 
-    __slots__ = ("host_id", "tc", "apps", "ports", "rotation")
+    __slots__ = ("host_id", "tc", "apps", "ranges", "rotation")
 
     def __init__(self, host_id: str, tc: Tc) -> None:
         self.host_id = host_id
         self.tc = tc
-        self.apps: List["DLApplication"] = []
-        #: job_id -> this job's PS ports on this host (>1 for sharded jobs)
-        self.ports: Dict[str, List[int]] = {}
+        self.apps: List["Application"] = []
+        #: job_id -> this job's source-port ranges on this host; degenerate
+        #: ``(port, port)`` entries for PS jobs (>1 for sharded jobs), one
+        #: true range per host for all-reduce jobs
+        self.ranges: Dict[str, List[Tuple[int, int]]] = {}
         self.rotation = 0
 
 
@@ -87,17 +97,16 @@ class TensorLights:
 
     # -- job lifecycle ------------------------------------------------------
 
-    def attach(self, app: "DLApplication") -> None:
+    def attach(self, app: "Application") -> None:
         """Register a job (call on arrival, before or after launch).
 
-        Sharded (multi-PS) jobs are registered on every host carrying one
-        of their PS endpoints; all of a job's ports on a host share the
-        job's band.
+        Works for both architectures through the classification protocol:
+        a PS job is registered on every host carrying one of its PS
+        endpoints (sharded jobs span several), an all-reduce job on every
+        ring member host.  All of a job's ports/ranges on a host share
+        the job's band.
         """
-        endpoints_by_host: Dict[str, List[int]] = {}
-        for ep in app.ps_endpoints:
-            endpoints_by_host.setdefault(ep.host_id, []).append(ep.port)
-        for host_id, ports in endpoints_by_host.items():
+        for host_id, ranges in app.classification_ranges().items():
             state = self._hosts.get(host_id)
             if state is None:
                 state = _HostState(host_id, Tc(self.cluster.host(host_id).nic))
@@ -105,7 +114,7 @@ class TensorLights:
             if app in state.apps:
                 raise ConfigError(f"{app.spec.job_id} already attached")
             state.apps.append(app)
-            state.ports[app.spec.job_id] = ports
+            state.ranges[app.spec.job_id] = list(ranges)
             self._reconfigure(state)
         if self.mode == TLMode.RR:
             self._ensure_rotor()
@@ -117,20 +126,28 @@ class TensorLights:
 
         self.cluster.sim.spawn(watch(), name=f"tl-watch/{app.spec.job_id}")
 
-    def detach(self, app: "DLApplication") -> None:
+    def detach(self, app: "Application") -> None:
         """Deregister a departed job and re-rank the remainder."""
-        for host_id in {ep.host_id for ep in app.ps_endpoints}:
+        for host_id in app.classification_ranges():
             state = self._hosts.get(host_id)
             if state is None or app not in state.apps:
                 continue
             state.apps.remove(app)
-            ports = state.ports.pop(app.spec.job_id, [])
+            ranges = state.ranges.pop(app.spec.job_id, [])
             if state.tc.installed:
-                for port in ports:
-                    state.tc.del_port(port)
+                self._del_ranges(state, ranges)
             self._reconfigure(state)
 
     # -- assignment -------------------------------------------------------------
+
+    @staticmethod
+    def _del_ranges(state: _HostState, ranges: List[Tuple[int, int]]) -> None:
+        """Remove a job's filters (single ports and true ranges alike)."""
+        for lo, hi in ranges:
+            if lo == hi:
+                state.tc.del_port(lo)
+            else:
+                state.tc.del_range(lo, hi)
 
     def _reconfigure(self, state: _HostState) -> None:
         """(Re)apply the banding for one host's current jobs."""
@@ -153,8 +170,11 @@ class TensorLights:
         bands = band_assignment(n, self.max_bands)
         for rank, app in enumerate(ranked):
             rotated_rank = (rank + state.rotation) % n
-            for port in state.ports[app.spec.job_id]:
-                state.tc.set_port_band(port, bands[rotated_rank])
+            for lo, hi in state.ranges[app.spec.job_id]:
+                if lo == hi:
+                    state.tc.set_port_band(lo, bands[rotated_rank])
+                else:
+                    state.tc.set_range_band(lo, hi, bands[rotated_rank])
                 self.reconfigurations += 1
 
     # -- fault awareness & reconciliation --------------------------------------
@@ -192,10 +212,9 @@ class TensorLights:
                      if a.done.fired or getattr(a, "failed", False)]
             for app in stale:
                 state.apps.remove(app)
-                ports = state.ports.pop(app.spec.job_id, [])
+                ranges = state.ranges.pop(app.spec.job_id, [])
                 if state.tc.installed:
-                    for port in ports:
-                        state.tc.del_port(port)
+                    self._del_ranges(state, ranges)
             if stale:
                 self._reconfigure(state)
                 touched += 1
@@ -248,12 +267,20 @@ class TensorLights:
 
     # -- introspection ---------------------------------------------------------
 
-    def band_of(self, app: "DLApplication") -> Optional[int]:
-        """The band currently assigned to a job's PS port, if any."""
-        state = self._hosts.get(app.ps_host_id)
-        if state is None or not state.tc.installed:
+    def band_of(self, app: "Application", host_id: Optional[str] = None) -> Optional[int]:
+        """The band currently assigned to a job on one host, if any.
+
+        ``host_id`` defaults to the job's anchor host — the (first) PS
+        host for PS jobs, the leader member's host for all-reduce jobs.
+        All of a job's ranges on a host share one band.
+        """
+        ranges = app.classification_ranges()
+        if host_id is None:
+            host_id = app.ps_host_id
+        state = self._hosts.get(host_id)
+        if state is None or not state.tc.installed or host_id not in ranges:
             return None
-        return state.tc.band_of_port(app.ps_port)
+        return state.tc.band_of_port(ranges[host_id][0][0])
 
     def contended_hosts(self) -> List[str]:
         """Hosts currently under TensorLights control (>= 2 PSes)."""

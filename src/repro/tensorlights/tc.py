@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import re
 import shlex
-from typing import Dict, Optional, TYPE_CHECKING
+from typing import Dict, Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import TcError
 from repro.net.qdisc import HTBQdisc, PFifo, PortFilter
@@ -44,6 +44,7 @@ class Tc:
         self._filter: Optional[PortFilter] = None
         self._n_bands = 0
         self._port_to_band: Dict[int, int] = {}
+        self._range_to_band: Dict[Tuple[int, int], int] = {}
 
     # -- high-level: the TensorLights configuration ------------------------
 
@@ -67,6 +68,7 @@ class Tc:
         self._filter = filt
         self._n_bands = n_bands
         self._port_to_band = {}
+        self._range_to_band = {}
         self.nic.set_qdisc(htb)
 
     def remove(self) -> None:
@@ -75,6 +77,7 @@ class Tc:
         self._filter = None
         self._n_bands = 0
         self._port_to_band = {}
+        self._range_to_band = {}
         self.nic.set_qdisc(PFifo())
 
     @property
@@ -110,11 +113,47 @@ class Tc:
         self._port_to_band.pop(sport, None)
 
     def band_of_port(self, sport: int) -> Optional[int]:
-        return self._port_to_band.get(sport)
+        band = self._port_to_band.get(sport)
+        if band is not None:
+            return band
+        for (lo, hi), range_band in self._range_to_band.items():
+            if lo <= sport <= hi:
+                return range_band
+        return None
 
     @property
     def port_bands(self) -> Dict[int, int]:
         return dict(self._port_to_band)
+
+    # -- filters: source-port range -> band (ring all-reduce jobs) ----------
+
+    def set_range_band(self, lo: int, hi: int, band: int) -> None:
+        """Map an inclusive source-port range to a band (add or move).
+
+        The port-range classification scheme: an all-reduce member sends
+        all of its chunks from ports in ``[lo, hi]``, so one range filter
+        per member host bands the whole job — regardless of how many
+        chunk channels it stripes over.
+        """
+        htb = self._require_htb()
+        if lo > hi:
+            raise TcError(f"bad port range {lo}-{hi}")
+        if not 0 <= band < self._n_bands:
+            raise TcError(f"band {band} out of range (have {self._n_bands})")
+        assert self._filter is not None
+        self._filter.add_range_match(lo, hi, BAND_CLASSID_BASE + band)
+        self._range_to_band[(lo, hi)] = band
+
+    def del_range(self, lo: int, hi: int) -> None:
+        """Remove a range filter (job departed)."""
+        self._require_htb()
+        assert self._filter is not None
+        self._filter.remove_range_match(lo, hi)
+        self._range_to_band.pop((lo, hi), None)
+
+    @property
+    def range_bands(self) -> Dict[Tuple[int, int], int]:
+        return dict(self._range_to_band)
 
     # -- class tweaks --------------------------------------------------------
 
@@ -152,6 +191,14 @@ class Tc:
                 f"match ip sport {sport} 0xffff flowid "
                 f"1:{BAND_CLASSID_BASE + band}"
             )
+        for (lo, hi), band in sorted(self._range_to_band.items()):
+            # Port ranges use the flower classifier (u32 needs mask
+            # gymnastics for arbitrary ranges; flower takes them natively).
+            out.append(
+                f"tc filter add dev {dev} protocol ip parent 1: flower "
+                f"ip_proto tcp src_port {lo}-{hi} classid "
+                f"1:{BAND_CLASSID_BASE + band}"
+            )
         return out
 
 
@@ -164,6 +211,8 @@ class TcShell:
         qdisc del dev <dev> root
         filter add dev <dev> sport <port> band <n>
         filter del dev <dev> sport <port>
+        filter add dev <dev> sport_range <lo>-<hi> band <n>
+        filter del dev <dev> sport_range <lo>-<hi>
         class change dev <dev> band <n> prio <p>
     """
 
@@ -201,6 +250,12 @@ class TcShell:
             tc.install_tensorlights_htb(int(args.get("bands", "6")))
         elif kind == "qdisc" and action == "del":
             tc.remove()
+        elif kind == "filter" and action == "add" and "sport_range" in args:
+            lo, hi = self._range(args["sport_range"])
+            tc.set_range_band(lo, hi, int(args["band"]))
+        elif kind == "filter" and action == "del" and "sport_range" in args:
+            lo, hi = self._range(args["sport_range"])
+            tc.del_range(lo, hi)
         elif kind == "filter" and action == "add":
             tc.set_port_band(int(args["sport"]), int(args["band"]))
         elif kind == "filter" and action == "del":
@@ -209,6 +264,14 @@ class TcShell:
             tc.change_band_prio(int(args["band"]), int(args["prio"]))
         else:
             raise TcError(f"unsupported tc command: {command}")
+
+    @staticmethod
+    def _range(text: str) -> Tuple[int, int]:
+        """Parse ``"<lo>-<hi>"`` into an inclusive port range."""
+        m = re.fullmatch(r"(\d+)-(\d+)", text)
+        if m is None:
+            raise TcError(f"bad port range {text!r} (want lo-hi)")
+        return int(m.group(1)), int(m.group(2))
 
     @staticmethod
     def _kv(tokens: list[str]) -> Dict[str, str]:

@@ -8,6 +8,10 @@ instead of raw exponents.
 
 from __future__ import annotations
 
+import re
+
+from repro.errors import ConfigError
+
 KB = 1024
 MB = 1024 * KB
 GB = 1024 * MB
@@ -60,6 +64,68 @@ def fmt_rate(bytes_per_s: float) -> str:
         if bits >= scale:
             return f"{bits / scale:.2f} {unit}"
     return f"{bits:.0f} bps"
+
+
+#: Rate unit -> bits/second (tc-style ``bit`` suffixes and ``bps`` names).
+_RATE_UNITS = {
+    "bit": 1.0, "kbit": 1e3, "mbit": 1e6, "gbit": 1e9, "tbit": 1e12,
+    "bps": 1.0, "kbps": 1e3, "mbps": 1e6, "gbps": 1e9, "tbps": 1e12,
+}
+
+#: Size unit -> bytes.  The repo's binary convention: KB == KiB == 1024.
+_SIZE_UNITS = {
+    "b": 1, "kb": KB, "kib": KB, "mb": MB, "mib": MB,
+    "gb": GB, "gib": GB, "tb": 1024 * GB, "tib": 1024 * GB,
+}
+
+_QTY_RE = re.compile(
+    r"\s*([0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?)\s*([a-zA-Z/]*)\s*"
+)
+
+
+def _split_quantity(text: str, what: str) -> "tuple[float, str]":
+    """``"10 Gbit"`` -> ``(10.0, "gbit")``; raises ConfigError on junk."""
+    m = _QTY_RE.fullmatch(text)
+    if m is None:
+        raise ConfigError(f"cannot parse {what} {text!r}")
+    unit = m.group(2).lower()
+    if unit.endswith("/s"):
+        unit = unit[:-2]
+    return float(m.group(1)), unit
+
+
+def parse_rate(text: str) -> float:
+    """Parse a link rate string -> bytes/second (inverse of :func:`fmt_rate`).
+
+    Accepts tc-style bit units (``"10Gbit"``, ``"100 mbit"``), ``bps``
+    names (``"10.00 Gbps"``) and an optional ``/s`` suffix, all
+    case-insensitive.  Bare numbers are bits/second.
+    """
+    value, unit = _split_quantity(text, "rate")
+    scale = _RATE_UNITS.get(unit if unit else "bit")
+    if scale is None:
+        raise ConfigError(
+            f"unknown rate unit {unit!r} in {text!r} "
+            f"(expected one of {sorted(_RATE_UNITS)})"
+        )
+    return value * scale / 8.0
+
+
+def parse_size(text: str) -> int:
+    """Parse a byte-size string -> bytes (inverse of :func:`fmt_bytes`).
+
+    Accepts ``B``/``KiB``/``MiB``/``GiB``/``TiB`` and their two-letter
+    forms (``KB`` == ``KiB`` == 1024, the repo's binary convention),
+    case-insensitive.  Bare numbers are bytes.
+    """
+    value, unit = _split_quantity(text, "size")
+    scale = _SIZE_UNITS.get(unit if unit else "b")
+    if scale is None:
+        raise ConfigError(
+            f"unknown size unit {unit!r} in {text!r} "
+            f"(expected one of {sorted(_SIZE_UNITS)})"
+        )
+    return int(round(value * scale))
 
 
 def fmt_time(seconds: float) -> str:

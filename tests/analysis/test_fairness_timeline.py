@@ -26,13 +26,14 @@ def test_jain_maximally_unequal():
 
 def test_jain_validation():
     with pytest.raises(ConfigError):
-        jain_index([])
-    with pytest.raises(ConfigError):
         jain_index([-1.0, 2.0])
 
 
-def test_jain_all_zero_is_equal():
+def test_jain_degenerate_inputs_are_fair():
+    # Empty and all-zero populations are vacuously fair, not errors.
+    assert jain_index([]) == 1.0
     assert jain_index([0.0, 0.0]) == 1.0
+    assert jain_index([0]) == 1.0
 
 
 def test_progress_fairness_over_mapping():
@@ -40,13 +41,22 @@ def test_progress_fairness_over_mapping():
     assert progress_fairness({"a": 10, "b": 0}) == pytest.approx(0.5)
 
 
+def test_progress_fairness_degenerate_inputs():
+    # No jobs yet / everyone still at step zero: fair by convention.
+    assert progress_fairness({}) == 1.0
+    assert progress_fairness({"a": 0, "b": 0}) == 1.0
+
+
 def test_spread_and_cv():
     assert spread([1.0, 4.0, 2.0]) == 3.0
     assert coefficient_of_variation([2.0, 2.0]) == 0.0
     with pytest.raises(ConfigError):
         spread([])
-    with pytest.raises(ConfigError):
-        coefficient_of_variation([0.0, 0.0])
+
+
+def test_cv_degenerate_inputs_have_no_dispersion():
+    assert coefficient_of_variation([]) == 0.0
+    assert coefficient_of_variation([0.0, 0.0]) == 0.0
 
 
 @given(st.lists(st.floats(min_value=0.001, max_value=1e6), min_size=1, max_size=50))

@@ -1,0 +1,1 @@
+"""Tests for the ring all-reduce collectives package."""

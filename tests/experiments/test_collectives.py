@@ -1,0 +1,163 @@
+"""End-to-end tests for all-reduce and mixed scenarios through the pipeline."""
+
+import pytest
+
+from repro.collectives import AllReduceApplication
+from repro.dl import DLApplication
+from repro.errors import ConfigError
+from repro.experiments import (
+    Architecture,
+    Campaign,
+    ExperimentConfig,
+    Policy,
+    ResultCache,
+    Scenario,
+    execute_scenario,
+    materialize,
+)
+from repro.experiments.figures import collectives
+from repro.faults import FaultPlan, PSCrash
+
+MICRO = ExperimentConfig.tiny(n_jobs=3, n_workers=3, iterations=3)
+RING = MICRO.replace(architecture=Architecture.ALLREDUCE)
+MIXED = MICRO.replace(architecture=Architecture.MIXED)
+
+
+# ---------------------------------------------------------------- config
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        MICRO.replace(architecture=Architecture.ALLREDUCE, n_workers=1)
+    with pytest.raises(ConfigError):
+        MICRO.replace(architecture=Architecture.ALLREDUCE, n_ps=2)
+    with pytest.raises(ConfigError):
+        MICRO.replace(architecture=Architecture.MIXED, sync=False)
+    with pytest.raises(ConfigError):
+        MICRO.replace(architecture=Architecture.ALLREDUCE, policy=Policy.DRR)
+    with pytest.raises(ConfigError):
+        MICRO.replace(architecture=Architecture.MIXED, allreduce_fraction=0.0)
+    with pytest.raises(ConfigError):
+        MICRO.replace(allreduce_channels=0)
+
+
+def test_allreduce_job_indices_are_deterministic_and_spaced():
+    assert MICRO.allreduce_jobs() == frozenset()
+    assert RING.allreduce_jobs() == frozenset(range(3))
+    cfg = MICRO.replace(architecture=Architecture.MIXED, n_jobs=10,
+                        allreduce_fraction=0.5)
+    rings = cfg.allreduce_jobs()
+    assert len(rings) == 5
+    assert rings == cfg.allreduce_jobs()  # pure function of the config
+    third = cfg.replace(allreduce_fraction=1 / 3).allreduce_jobs()
+    assert len(third) == 3
+
+
+def test_scenario_guards_for_ring_architectures():
+    from repro.cluster.placement import PlacementSpec
+
+    with pytest.raises(ConfigError):
+        Scenario(config=RING, placement=PlacementSpec((1, 1, 1)))
+    with pytest.raises(ConfigError):
+        Scenario(config=RING,
+                 faults=FaultPlan(faults=(PSCrash(job="job00", at=0.1),)))
+
+
+def test_architecture_enters_the_content_key():
+    keys = {Scenario(config=c).key() for c in (MICRO, RING, MIXED)}
+    assert len(keys) == 3
+    assert Scenario(config=RING).key() == Scenario(config=RING).key()
+
+
+def test_scenario_round_trips_architecture():
+    from repro.experiments.scenario import scenario_from_dict
+
+    s = Scenario(config=MIXED).with_tags(architecture="mixed")
+    back = scenario_from_dict(s.to_dict())
+    assert back.config.architecture == Architecture.MIXED
+    assert back.key() == s.key()
+
+
+# ---------------------------------------------------------------- runtime
+
+
+def test_materialize_allreduce_builds_rings():
+    rt = materialize(Scenario(config=RING))
+    assert len(rt.apps) == 3
+    assert all(isinstance(a, AllReduceApplication) for a in rt.apps)
+    for app in rt.apps:
+        assert len(app.member_hosts) == RING.n_workers
+        assert len(set(app.member_hosts)) == RING.n_workers
+    result = rt.run()
+    assert set(result.jcts) == {f"job{j:02d}" for j in range(3)}
+    assert all(v > 0 for v in result.jcts.values())
+
+
+def test_materialize_mixed_builds_both_kinds():
+    cfg = MIXED.replace(n_jobs=4, allreduce_fraction=0.5)
+    rt = materialize(Scenario(config=cfg))
+    kinds = [type(a) for a in rt.apps]
+    assert kinds.count(AllReduceApplication) == 2
+    assert kinds.count(DLApplication) == 2
+    ring_indices = {i for i, a in enumerate(rt.apps)
+                    if isinstance(a, AllReduceApplication)}
+    assert ring_indices == cfg.allreduce_jobs()
+    result = rt.run()
+    assert len(result.jcts) == 4
+
+
+@pytest.mark.parametrize("cfg", [RING, MIXED], ids=["allreduce", "mixed"])
+@pytest.mark.parametrize("policy", [Policy.FIFO, Policy.TLS_ONE, Policy.TLS_RR])
+def test_end_to_end_all_policies(cfg, policy):
+    result = execute_scenario(Scenario(config=cfg.replace(policy=policy)))
+    assert len(result.jcts) == cfg.n_jobs
+    assert result.makespan > 0
+    assert result.barrier_wait_means().size > 0
+    if policy != Policy.FIFO:
+        # contending rings/PSes got banded somewhere
+        assert any("htb" in c for c in result.tc_commands)
+
+
+def test_repeated_runs_are_identical():
+    for cfg in (RING, MIXED):
+        scenario = Scenario(config=cfg.replace(policy=Policy.TLS_ONE))
+        a = execute_scenario(scenario)
+        b = execute_scenario(scenario)
+        assert a.jcts == b.jcts
+        assert a.makespan == b.makespan
+        assert a.ps_host_of_job == b.ps_host_of_job
+
+
+def test_campaign_cache_hit_for_same_content_key(tmp_path):
+    scenarios = [Scenario(config=RING), Scenario(config=MIXED)]
+    cold = Campaign(cache=ResultCache(tmp_path)).run(scenarios)
+    assert cold.cache_hits == 0 and cold.executed == 2
+    warm = Campaign(cache=ResultCache(tmp_path)).run(scenarios)
+    assert warm.cache_hits == 2 and warm.executed == 0
+    assert [r.jcts for r in cold.results] == [r.jcts for r in warm.results]
+
+
+# ---------------------------------------------------------------- figure
+
+
+def test_collectives_figure_smoke():
+    result = collectives.generate(
+        MICRO,
+        architectures=(Architecture.ALLREDUCE,),
+        policies=(Policy.FIFO, Policy.TLS_ONE),
+    )
+    assert (Architecture.ALLREDUCE, Policy.FIFO) in result.results
+    assert result.vs_fifo(Architecture.ALLREDUCE, Policy.FIFO) == 1.0
+    text = result.render()
+    assert "allreduce" in text and "tls-one" in text
+
+
+def test_collectives_cli_smoke(capsys):
+    from repro.cli import main
+
+    rc = main(["collectives", "--jobs", "3", "--workers", "3",
+               "--iterations", "3", "--architectures", "allreduce",
+               "--policies", "fifo", "tls-one", "--link-rate", "10Gbit"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "allreduce" in out and "tls-one" in out

@@ -75,6 +75,55 @@ def test_generate_jobs_model_mix():
     assert names == {"resnet32_cifar10", "alexnet"}
 
 
+def test_generate_jobs_identical_stream_for_same_seed():
+    spec = small_spec(models=(("resnet32_cifar10", 2.0), ("alexnet", 1.0)),
+                      architectures=(("ps", 1.0), ("allreduce", 1.0)),
+                      n_jobs=40)
+    a = generate_jobs(spec, seed=11)
+    b = generate_jobs(spec, seed=11)
+    assert [(j.job_id, j.arrival_time, j.model.name, j.architecture,
+             j.target_global_steps) for j in a] == \
+           [(j.job_id, j.arrival_time, j.model.name, j.architecture,
+             j.target_global_steps) for j in b]
+
+
+def test_generate_jobs_different_seeds_diverge():
+    spec = small_spec(n_jobs=20)
+    arrivals = {s: [j.arrival_time for j in generate_jobs(spec, seed=s)]
+                for s in (0, 1, 2)}
+    assert arrivals[0] != arrivals[1]
+    assert arrivals[1] != arrivals[2]
+
+
+def test_generate_jobs_mix_weights_respected():
+    # A 3:1 model mix over many jobs lands near 75/25 (within tolerance).
+    spec = small_spec(models=(("resnet32_cifar10", 3.0), ("alexnet", 1.0)),
+                      n_jobs=400, arrival_rate=10.0)
+    jobs = generate_jobs(spec, seed=5)
+    frac = sum(j.model.name == "resnet32_cifar10" for j in jobs) / len(jobs)
+    assert 0.65 < frac < 0.85
+
+
+def test_generate_jobs_architecture_mix():
+    spec = small_spec(architectures=(("ps", 1.0), ("allreduce", 1.0)),
+                      n_jobs=200, arrival_rate=10.0)
+    jobs = generate_jobs(spec, seed=5)
+    frac = sum(j.architecture == "allreduce" for j in jobs) / len(jobs)
+    assert 0.4 < frac < 0.6
+    # the default mix stays pure PS and draws nothing from the rng
+    pure = generate_jobs(small_spec(n_jobs=6), seed=9)
+    assert all(j.architecture == "ps" for j in pure)
+
+
+def test_architecture_mix_validation():
+    with pytest.raises(WorkloadError):
+        small_spec(architectures=())
+    with pytest.raises(WorkloadError):
+        small_spec(architectures=(("rpc", 1.0),))
+    with pytest.raises(WorkloadError):
+        small_spec(architectures=(("allreduce", 1.0),), n_workers=1)
+
+
 # ---------------------------------------------------------------- dynamic run
 
 
@@ -114,3 +163,15 @@ def test_dynamic_run_is_deterministic():
     b = run_dynamic_cluster(jobs, n_hosts=6, seed=5)
     assert a.jcts == b.jcts
     assert a.ps_host_of_job == b.ps_host_of_job
+
+
+def test_dynamic_run_mixed_architectures():
+    jobs = small_jobs(n_jobs=8,
+                      architectures=(("ps", 1.0), ("allreduce", 1.0)))
+    assert {j.architecture for j in jobs} == {"ps", "allreduce"}
+    result = run_dynamic_cluster(jobs, n_hosts=6,
+                                 scheduler_policy=SchedulingPolicy.SPREAD,
+                                 tensorlights=TLMode.ONE, seed=3)
+    assert set(result.jcts) == {j.job_id for j in jobs}
+    assert all(v > 0 for v in result.jcts.values())
+    assert result.tc_reconfigurations > 0

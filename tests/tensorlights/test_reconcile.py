@@ -108,4 +108,4 @@ def test_ps_host_crash_recovery_reinstalls_bands():
     assert all(a.done.fired for a in rt.apps)
     assert all(tl.band_of(a) is None for a in rt.apps)
     assert tl.render_commands() == []               # departed jobs left no trace
-    assert all(not s.apps and not s.ports for s in tl._hosts.values())
+    assert all(not s.apps and not s.ranges for s in tl._hosts.values())
