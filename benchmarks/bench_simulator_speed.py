@@ -4,15 +4,145 @@ Not paper results — these track the event-loop, qdisc and CPU-model
 throughput so performance regressions in the substrate are visible.  They
 are the only benchmarks here that use multiple rounds (they are cheap and
 timing-noise-sensitive, unlike the deterministic macro experiments).
+
+Besides the pytest-benchmark cases, this file is runnable directly::
+
+    python benchmarks/bench_simulator_speed.py --quick \
+        --baseline BENCH_simulator.json
+
+which measures end-to-end events/sec on three representative scenarios
+(fig2 placement under FIFO, the same under TLs-One, a ring all-reduce),
+writes ``BENCH_simulator.json``, and exits non-zero if any scenario
+regressed more than ``--max-regression`` against the baseline file.  The
+checked-in ``BENCH_simulator.json`` is the reference measured when the
+kernel fast path landed.
 """
 
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
 from repro.cluster.cpu import ProcessorSharingCPU
+from repro.experiments.config import Architecture, ExperimentConfig, Policy
+from repro.experiments.runtime import execute_scenario
+from repro.experiments.scenario import Scenario
 from repro.net.qdisc import HTBQdisc, PFifo, PortFilter
 from repro.sim import Simulator, Timeout
 
 import sys
 sys.path.insert(0, ".")  # conftest sibling import under pytest rootdir
 from tests.net.helpers import seg  # noqa: E402
+
+
+def _bench_scenarios(iterations: int) -> dict[str, ExperimentConfig]:
+    """The three end-to-end speed scenarios (full paper topology)."""
+    return {
+        "fig2_fifo_p1": ExperimentConfig(
+            iterations=iterations, placement_index=1,
+        ),
+        "fig2_tls_one_p1": ExperimentConfig(
+            iterations=iterations, placement_index=1, policy=Policy.TLS_ONE,
+        ),
+        "ring_allreduce": ExperimentConfig(
+            iterations=iterations, n_jobs=8, n_workers=8,
+            architecture=Architecture.ALLREDUCE,
+        ),
+    }
+
+
+def measure_events_per_sec(config: ExperimentConfig, repeats: int) -> dict:
+    """Best-of-``repeats`` throughput of one scenario."""
+    best_rate = 0.0
+    best_dt = 0.0
+    events = 0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        res = execute_scenario(Scenario(config=config))
+        dt = time.perf_counter() - t0
+        events = res.sim_events
+        rate = events / dt
+        if rate > best_rate:
+            best_rate, best_dt = rate, dt
+    return {
+        "sim_events": events,
+        "best_seconds": round(best_dt, 4),
+        "events_per_sec": round(best_rate),
+    }
+
+
+def run_speed_suite(quick: bool = False) -> dict:
+    """Measure all scenarios; ``quick`` shrinks iterations and repeats."""
+    iterations = 3 if quick else 10
+    repeats = 2 if quick else 3
+    report: dict = {
+        "benchmark": "simulator_speed",
+        "mode": "quick" if quick else "full",
+        "iterations": iterations,
+        "best_of": repeats,
+        "scenarios": {},
+    }
+    for name, cfg in _bench_scenarios(iterations).items():
+        report["scenarios"][name] = measure_events_per_sec(cfg, repeats)
+    return report
+
+
+def check_regression(report: dict, baseline: dict, max_regression: float) -> list[str]:
+    """Scenarios slower than ``(1 - max_regression) * baseline`` ev/s."""
+    failures = []
+    for name, entry in baseline.get("scenarios", {}).items():
+        measured = report["scenarios"].get(name)
+        if measured is None:
+            continue
+        floor = entry["events_per_sec"] * (1.0 - max_regression)
+        if measured["events_per_sec"] < floor:
+            failures.append(
+                f"{name}: {measured['events_per_sec']:,} ev/s < "
+                f"{floor:,.0f} ev/s floor "
+                f"(baseline {entry['events_per_sec']:,}, "
+                f"-{max_regression:.0%} allowed)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure simulator events/sec and write BENCH_simulator.json"
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: fewer iterations and repeats")
+    parser.add_argument("--output", default="BENCH_simulator.json",
+                        help="report path (default: %(default)s)")
+    parser.add_argument("--baseline", default=None,
+                        help="compare against this report; exit 1 on regression")
+    parser.add_argument("--max-regression", type=float, default=0.20,
+                        help="allowed events/sec drop vs baseline "
+                             "(default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    report = run_speed_suite(quick=args.quick)
+    for name, entry in report["scenarios"].items():
+        print(f"{name:20s} {entry['events_per_sec']:>12,} ev/s "
+              f"({entry['sim_events']:,} events, best of {report['best_of']})")
+
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        failures = check_regression(report, baseline, args.max_regression)
+        if failures:
+            print("PERFORMANCE REGRESSION:")
+            for line in failures:
+                print(f"  {line}")
+            return 1
+        print(f"no regression vs {args.baseline} "
+              f"(tolerance {args.max_regression:.0%})")
+    return 0
 
 
 def test_event_loop_throughput(benchmark):
@@ -114,3 +244,7 @@ def test_processor_sharing_churn(benchmark):
 
     busy = benchmark(run)
     assert busy > 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

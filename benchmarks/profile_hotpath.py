@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Profile the simulator hot path on a paper scenario.
+
+The optimization workflow behind the kernel/transport fast paths:
+
+1. ``python benchmarks/profile_hotpath.py`` — top functions by own-time on
+   the fig2 placement scenario (the heaviest FIFO contention case);
+2. attack the top entries *without changing any arithmetic* (event order
+   and float results are load-bearing — see docs/architecture.md,
+   "Performance");
+3. re-check ``python benchmarks/bench_simulator_speed.py`` and the
+   determinism tests (``tests/experiments/test_determinism_hashes.py``).
+
+Uses :mod:`cProfile` from the standard library; if ``pyinstrument`` is
+installed (it is not required), ``--pyinstrument`` renders a wall-clock
+call tree instead, which attributes inlined loops better.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+
+from repro.experiments.config import Architecture, ExperimentConfig, Policy
+from repro.experiments.runtime import execute_scenario
+from repro.experiments.scenario import Scenario
+
+try:  # optional, never a hard dependency
+    import pyinstrument
+except ImportError:  # pragma: no cover
+    pyinstrument = None
+
+PROFILES = {
+    "fig2": lambda it: ExperimentConfig(iterations=it, placement_index=1),
+    "tls_one": lambda it: ExperimentConfig(
+        iterations=it, placement_index=1, policy=Policy.TLS_ONE,
+    ),
+    "ring": lambda it: ExperimentConfig(
+        iterations=it, n_jobs=8, n_workers=8,
+        architecture=Architecture.ALLREDUCE,
+    ),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenario", choices=sorted(PROFILES), default="fig2")
+    parser.add_argument("--iterations", type=int, default=10,
+                        help="training iterations to simulate (default: 10)")
+    parser.add_argument("--top", type=int, default=25,
+                        help="rows of profile output (default: 25)")
+    parser.add_argument("--sort", default="tottime",
+                        choices=["tottime", "cumtime", "ncalls"],
+                        help="pstats sort key (default: tottime)")
+    parser.add_argument("--dump", metavar="FILE",
+                        help="also write raw pstats data (snakeviz etc.)")
+    parser.add_argument("--pyinstrument", action="store_true",
+                        help="use pyinstrument if installed")
+    args = parser.parse_args(argv)
+
+    scenario = Scenario(config=PROFILES[args.scenario](args.iterations))
+
+    if args.pyinstrument:
+        if pyinstrument is None:
+            parser.error("pyinstrument is not installed in this environment")
+        profiler = pyinstrument.Profiler()
+        profiler.start()
+        res = execute_scenario(scenario)
+        profiler.stop()
+        print(profiler.output_text(unicode=True, color=False))
+    else:
+        pr = cProfile.Profile()
+        pr.enable()
+        res = execute_scenario(scenario)
+        pr.disable()
+        stats = pstats.Stats(pr)
+        stats.sort_stats(args.sort).print_stats(args.top)
+        if args.dump:
+            stats.dump_stats(args.dump)
+            print(f"raw profile written to {args.dump}")
+
+    rate = res.sim_events / res.wall_seconds
+    print(f"{args.scenario}: {res.sim_events:,} events in "
+          f"{res.wall_seconds:.3f}s = {rate:,.0f} ev/s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

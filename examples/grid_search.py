@@ -14,7 +14,7 @@ Run:  python examples/grid_search.py
 
 import numpy as np
 
-from repro import ExperimentConfig, Policy, run_experiment
+from repro.api import ExperimentConfig, Policy, Scenario, execute_scenario
 from repro.cluster.placement import placement_by_index
 
 
@@ -35,7 +35,7 @@ def main() -> None:
     jcts = {}
     for index in (1, 4, 8):
         spec = placement_by_index(index, n_jobs=base.n_jobs)
-        res = run_experiment(base.replace(placement_index=index))
+        res = execute_scenario(Scenario(config=base.replace(placement_index=index)))
         jcts[index] = res.avg_jct
         print(f"#{index} ({spec.describe()})".ljust(22), f"{res.avg_jct:9.2f}")
     gap = (max(jcts.values()) / min(jcts.values()) - 1) * 100
@@ -44,7 +44,7 @@ def main() -> None:
     print("Part 2 — grid search on the worst placement, with fairness")
     worst = base.replace(placement_index=1)
     for policy in (Policy.FIFO, Policy.TLS_ONE, Policy.TLS_RR):
-        res = run_experiment(worst.replace(policy=policy))
+        res = execute_scenario(Scenario(config=worst.replace(policy=policy)))
         jct = np.array(sorted(res.jcts.values()))
         print(
             f"  {policy.value:8s} avg JCT {res.avg_jct:6.2f} s | "

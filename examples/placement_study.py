@@ -8,7 +8,7 @@ tables the benchmark harness produces.
 Run:  python examples/placement_study.py          (~2-3 minutes)
 """
 
-from repro import ExperimentConfig
+from repro.api import ExperimentConfig
 from repro.experiments.figures import fig2, fig5a
 
 

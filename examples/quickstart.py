@@ -9,7 +9,7 @@ scheduling and once under TensorLights-One — and compare.
 Run:  python examples/quickstart.py
 """
 
-from repro import ExperimentConfig, Policy, run_experiment
+from repro.api import ExperimentConfig, Policy, Scenario, execute_scenario
 
 
 def main() -> None:
@@ -24,8 +24,8 @@ def main() -> None:
         seed=7,
     )
 
-    fifo = run_experiment(base)
-    tls = run_experiment(base.replace(policy=Policy.TLS_ONE))
+    fifo = execute_scenario(Scenario(config=base))
+    tls = execute_scenario(Scenario(config=base.replace(policy=Policy.TLS_ONE)))
 
     print("Scenario: 6 jobs, all parameter servers on one 2.5 Gbps host\n")
     print(f"{'job':8s} {'FIFO JCT':>10s} {'TLs-One JCT':>12s} {'speedup':>8s}")

@@ -11,7 +11,7 @@ Run:  python examples/seed_sweep_analysis.py      (~2 minutes)
 
 import numpy as np
 
-from repro import ExperimentConfig, Policy
+from repro.api import ExperimentConfig, Policy
 from repro.analysis import bootstrap_ratio_ci, jain_index
 from repro.experiments.export import to_csv
 from repro.experiments.sweeps import sweep

@@ -4,16 +4,18 @@ A complete, simulation-based reproduction of *"Green, Yellow, Yield:
 End-Host Traffic Scheduling for Distributed Deep Learning with
 TensorLights"* (Huang, Chen, Ng — IPDPS 2019).
 
-Quickstart::
+Quickstart (the stable surface lives in :mod:`repro.api`, see docs/api.md)::
 
-    from repro import ExperimentConfig, Policy, run_experiment
+    from repro.api import ExperimentConfig, Policy, Scenario, execute_scenario
 
-    fifo = run_experiment(ExperimentConfig(placement_index=1))
-    tls  = run_experiment(ExperimentConfig(placement_index=1,
-                                           policy=Policy.TLS_ONE))
+    fifo = execute_scenario(Scenario(config=ExperimentConfig(placement_index=1)))
+    tls  = execute_scenario(Scenario(config=ExperimentConfig(
+        placement_index=1, policy=Policy.TLS_ONE)))
     print(tls.avg_jct / fifo.avg_jct)   # < 1: TensorLights wins
 
 Layered public API:
+
+* :mod:`repro.api` — the stable experiment-pipeline facade,
 
 * :mod:`repro.sim` — discrete-event kernel,
 * :mod:`repro.net` — NICs, qdiscs (FIFO/prio/TBF/HTB/DRR), switch, transport,
@@ -43,7 +45,7 @@ from repro.experiments import (
 from repro.sim import Simulator
 from repro.tensorlights import TensorLights, TLMode
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Campaign",

@@ -1,0 +1,63 @@
+"""The stable public API of the reproduction.
+
+Import experiment-facing names from here::
+
+    from repro.api import ExperimentConfig, Policy, Scenario, Runtime
+
+Everything in ``__all__`` follows the compatibility policy in
+``docs/api.md``: additions are backwards-compatible, removals go through a
+deprecation cycle of at least one minor release with a
+:class:`DeprecationWarning` shim.  Modules outside this facade
+(``repro.net.*`` internals, figure generators, ...) may change freely
+between releases.
+
+The facade re-exports — it defines nothing — so importing it pulls in the
+experiment pipeline but none of the optional analysis/figure extras.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.campaign import (
+    Campaign,
+    CampaignEvent,
+    CampaignFailure,
+    CampaignResult,
+    ExecutionOutcome,
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+)
+from repro.experiments.config import Architecture, ExperimentConfig, Policy
+from repro.experiments.runtime import (
+    ExperimentResult,
+    HostSamples,
+    Runtime,
+    execute_scenario,
+    materialize,
+)
+from repro.experiments.scenario import Scenario, scenario_grid
+from repro.experiments.workloads import WorkloadSpec
+from repro.faults.plan import FaultPlan
+
+__all__ = [
+    "Architecture",
+    "Campaign",
+    "CampaignEvent",
+    "CampaignFailure",
+    "CampaignResult",
+    "ExecutionOutcome",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "FaultPlan",
+    "HostSamples",
+    "ParallelExecutor",
+    "Policy",
+    "ResultCache",
+    "Runtime",
+    "Scenario",
+    "SerialExecutor",
+    "WorkloadSpec",
+    "execute_scenario",
+    "materialize",
+    "scenario_grid",
+]

@@ -26,8 +26,8 @@ from repro.experiments.campaign import (
     SerialExecutor,
 )
 from repro.experiments.config import Architecture, ExperimentConfig, Policy
-from repro.experiments.runner import ExperimentResult, run_experiment
-from repro.experiments.runtime import execute_scenario, materialize
+from repro.experiments.runner import run_experiment
+from repro.experiments.runtime import ExperimentResult, execute_scenario, materialize
 from repro.experiments.scenario import Scenario, scenario_grid
 
 __all__ = [

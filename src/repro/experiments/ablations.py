@@ -41,7 +41,7 @@ from repro.experiments.campaign import Campaign
 from repro.experiments.config import ExperimentConfig, Policy
 from repro.experiments.figures.common import base_config, submit
 from repro.experiments.report import TextTable
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.runtime import ExperimentResult
 from repro.experiments.runtime import materialize
 from repro.experiments.scenario import Scenario
 from repro.sim.rng import RandomStreams

@@ -10,10 +10,10 @@ benchmarks all build scenario lists and submit them here, so one
 parallelizes and incrementalizes the whole paper reproduction.
 
 Default behaviour (no executor, no cache) is deterministic and
-byte-identical to running :func:`repro.experiments.runner.run_experiment`
-in a loop; the simulation itself is deterministic in the scenario, which
-is also what makes parallel execution and caching sound: the same
-scenario key always denotes the same result.
+byte-identical to executing each scenario serially without a cache; the
+simulation itself is deterministic in the scenario, which is also what
+makes parallel execution and caching sound: the same scenario key always
+denotes the same result.
 
 Example::
 

@@ -1,13 +1,14 @@
 """Result export: JSON and CSV serialization of experiment results.
 
 Downstream users typically feed results into their own plotting pipeline;
-these helpers flatten :class:`~repro.experiments.runner.ExperimentResult`
+these helpers flatten :class:`~repro.experiments.runtime.ExperimentResult`
 objects into stable, documented schemas.
 """
 
 from __future__ import annotations
 
 import csv
+import hashlib
 import io
 import json
 from typing import Any, Dict, Iterable, List, Mapping
@@ -17,7 +18,7 @@ import numpy as np
 from repro.dl.metrics import BarrierSeries, JobMetrics
 from repro.errors import ConfigError
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import ExperimentResult, HostSamples
+from repro.experiments.runtime import ExperimentResult, HostSamples
 from repro.experiments.scenario import config_from_dict, config_to_dict
 from repro.telemetry.sampler import SampleSeries
 
@@ -194,6 +195,20 @@ def result_to_full_dict(result: ExperimentResult) -> Dict[str, Any]:
         "host_ids": list(result.host_ids),
         "fault_events": list(result.fault_events),
     }
+
+
+def result_content_hash(result: ExperimentResult) -> str:
+    """SHA-256 over the lossless serialization, minus wall-clock time.
+
+    Two runs of the same scenario hash identically if and only if every
+    simulated measurement matches — the invariant that the kernel/transport
+    fast paths must preserve and that the determinism tests pin
+    (``wall_seconds`` is the one field allowed to differ between runs).
+    """
+    payload = result_to_full_dict(result)
+    payload.pop("wall_seconds", None)
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def result_from_full_dict(data: Mapping[str, Any]) -> ExperimentResult:

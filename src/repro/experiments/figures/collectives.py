@@ -19,7 +19,7 @@ from repro.experiments.campaign import Campaign
 from repro.experiments.config import Architecture, ExperimentConfig, Policy
 from repro.experiments.figures.common import ALL_POLICIES, base_config, submit
 from repro.experiments.report import TextTable
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.runtime import ExperimentResult
 from repro.experiments.scenario import Scenario
 
 DEFAULT_ARCHITECTURES = (Architecture.ALLREDUCE, Architecture.MIXED)

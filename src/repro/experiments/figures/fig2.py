@@ -15,7 +15,7 @@ from repro.experiments.campaign import Campaign
 from repro.experiments.config import ExperimentConfig, Policy
 from repro.experiments.figures.common import base_config, submit
 from repro.experiments.report import TextTable, render_scatter_summary
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.runtime import ExperimentResult
 from repro.experiments.scenario import Scenario
 
 DEFAULT_PLACEMENTS = (1, 2, 3, 4, 5, 6, 7, 8)

@@ -16,7 +16,7 @@ from repro.experiments.campaign import Campaign
 from repro.experiments.config import ExperimentConfig, Policy
 from repro.experiments.figures.common import base_config, submit
 from repro.experiments.report import render_cdf
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.runtime import ExperimentResult
 from repro.experiments.scenario import Scenario
 
 

@@ -22,7 +22,7 @@ from repro.experiments.figures.common import (
     submit,
 )
 from repro.experiments.report import TextTable
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.runtime import ExperimentResult
 from repro.experiments.scenario import Scenario
 
 DEFAULT_PLACEMENTS = (1, 2, 3, 4, 5, 6, 7, 8)

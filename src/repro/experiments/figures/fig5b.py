@@ -23,7 +23,7 @@ from repro.experiments.figures.common import (
     submit,
 )
 from repro.experiments.report import TextTable
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.runtime import ExperimentResult
 
 DEFAULT_BATCH_SIZES = (1, 2, 4, 8, 16)
 

@@ -18,7 +18,7 @@ from repro.experiments.campaign import Campaign
 from repro.experiments.config import ExperimentConfig, Policy
 from repro.experiments.figures.common import ALL_POLICIES, base_config, run_policies
 from repro.experiments.report import render_cdf
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.runtime import ExperimentResult
 
 
 @dataclass

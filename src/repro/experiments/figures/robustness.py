@@ -22,7 +22,7 @@ from repro.experiments.campaign import Campaign, CampaignFailure
 from repro.experiments.config import ExperimentConfig, Policy
 from repro.experiments.figures.common import ALL_POLICIES, base_config
 from repro.experiments.report import TextTable
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.runtime import ExperimentResult
 from repro.experiments.scenario import Scenario
 from repro.faults import FaultPlan, PSCrash, RecoverySpec
 

@@ -14,7 +14,7 @@ from repro.experiments.campaign import Campaign
 from repro.experiments.config import ExperimentConfig, Policy
 from repro.experiments.figures.common import ALL_POLICIES, base_config, run_policies
 from repro.experiments.report import TextTable
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.runtime import ExperimentResult
 from repro.telemetry import ActiveWindow
 
 #: Rows of the paper's Table II: (resource label, series name, host kind).

@@ -1,18 +1,19 @@
-"""Backwards-compatible entry point: build and run one experiment.
+"""DEPRECATED entry point: build and run one experiment.
 
-The monolithic runner was split into layers (PR: Scenario → Runtime →
-Campaign); this module keeps the historical surface —
-:func:`run_experiment` and :class:`ExperimentResult` — as a thin shim:
+This module predates the Scenario → Runtime → Campaign split and the
+:mod:`repro.api` facade.  It is kept as a warning shim only:
 
-* :mod:`repro.experiments.scenario` — declarative, picklable run specs;
-* :mod:`repro.experiments.runtime` — materializes scenarios, owns
-  :class:`ExperimentResult`;
-* :mod:`repro.experiments.campaign` — executes scenario lists with
-  pluggable (serial/parallel) executors and an on-disk result cache.
+* ``run_experiment(config)``  →  ``execute_scenario(Scenario(config=config))``
+* ``from repro.experiments.runner import ExperimentResult``  →
+  ``from repro.api import ExperimentResult``
+
+Calling :func:`run_experiment` emits a :class:`DeprecationWarning`; the
+module will be removed after one minor release (see docs/api.md).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 from repro.cluster.placement import PlacementSpec
@@ -31,13 +32,17 @@ def run_experiment(
     config: ExperimentConfig,
     placement: Optional[PlacementSpec] = None,
 ) -> ExperimentResult:
-    """Run one experiment to completion and collect its measurements.
+    """Deprecated alias for the Scenario/Runtime pipeline.
 
-    ``placement`` overrides ``config.placement()`` when supplied (used by
-    the scheduler-policy ablation).  Equivalent to executing
-    ``Scenario(config=config, placement=placement)`` through the runtime
-    layer — campaigns of more than one run should build scenarios and
-    submit them through :class:`repro.experiments.campaign.Campaign`
-    instead, which adds multi-core execution and result caching.
+    Equivalent to ``execute_scenario(Scenario(config=config,
+    placement=placement))``.  Campaigns of more than one run should build
+    scenarios and submit them through :class:`repro.api.Campaign`, which
+    adds multi-core execution and result caching.
     """
+    warnings.warn(
+        "repro.experiments.runner.run_experiment is deprecated; use "
+        "repro.api.execute_scenario(Scenario(config=...)) or a Campaign",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return execute_scenario(Scenario(config=config, placement=placement))

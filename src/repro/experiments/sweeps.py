@@ -27,7 +27,7 @@ from repro.errors import ConfigError
 from repro.experiments.campaign import Campaign, CampaignEvent
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import TextTable
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.runtime import ExperimentResult
 from repro.experiments.scenario import Scenario
 
 

@@ -36,6 +36,27 @@ class NIC:
             go next (the switch ingress), after link latency.
     """
 
+    __slots__ = (
+        "sim",
+        "host_id",
+        "rate",
+        "qdisc",
+        "loss_tolerant",
+        "on_segment_sent",
+        "on_receive",
+        "on_segment_dropped",
+        "_deliver",
+        "_link_latency",
+        "_tx_busy",
+        "_retry_event",
+        "bytes_tx",
+        "bytes_rx",
+        "segments_tx",
+        "segments_rx",
+        "busy_time",
+        "_busy_since",
+    )
+
     def __init__(
         self,
         sim: "Simulator",
@@ -135,31 +156,35 @@ class NIC:
     def _kick(self) -> None:
         if self._tx_busy:
             return
-        now = self.sim.now
+        sim = self.sim
+        now = sim.now
         seg = self.qdisc.dequeue(now)
         if seg is None:
             if len(self.qdisc) > 0:
                 self._arm_retry()
             return
-        self._cancel_retry()
+        if self._retry_event is not None:
+            sim.cancel(self._retry_event)
+            self._retry_event = None
         self._tx_busy = True
         self._busy_since = now
-        tx_time = seg.size / self.rate
-        self.sim.schedule(tx_time, self._tx_done, (seg,))
+        sim.schedule(seg.size / self.rate, self._tx_done, (seg,))
 
     def _tx_done(self, seg: Segment) -> None:
-        now = self.sim.now
+        sim = self.sim
+        now = sim.now
         self._tx_busy = False
         self.busy_time += now - self._busy_since
         self.bytes_tx += seg.size
         self.segments_tx += 1
-        self.sim.trace.record(
-            "nic_tx", host=self.host_id, flow=str(seg.flow), seg=seg.index,
-            msg=seg.message.msg_id, size=seg.size,
-        )
+        if sim.trace.enabled:
+            sim.trace.record(
+                "nic_tx", host=self.host_id, flow=str(seg.flow), seg=seg.index,
+                msg=seg.message.msg_id, size=seg.size,
+            )
         if self._deliver is None:
             raise NetworkError(f"NIC {self.host_id} has no link attached")
-        self.sim.schedule(self._link_latency, self._deliver, (seg,))
+        sim.schedule(self._link_latency, self._deliver, (seg,))
         if self.on_segment_sent is not None:
             self.on_segment_sent(seg)
         self._kick()

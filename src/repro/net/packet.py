@@ -54,16 +54,21 @@ class Message:
 
 @dataclass(slots=True)
 class Segment:
-    """One NIC-serializable slice of a message."""
+    """One NIC-serializable slice of a message.
+
+    ``flow`` is copied out of the message at construction: it is read on
+    every classify/enqueue/transport hop, and a direct slot beats a
+    property + attribute chase on the per-segment hot path.
+    """
 
     message: Message
     index: int
     size: int
     is_last: bool
+    flow: FlowKey = field(init=False)
 
-    @property
-    def flow(self) -> FlowKey:
-        return self.message.flow
+    def __post_init__(self) -> None:
+        self.flow = self.message.flow
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Seg msg={self.message.msg_id} #{self.index} {self.size}B>"

@@ -129,6 +129,12 @@ class HTBQdisc(Qdisc):
         self._bytes = 0
         self._last_served: Dict[int, int] = {}
         self._serve_seq = 0
+        #: leaves in classid-insertion order — dequeue scans this instead
+        #: of filtering the whole class tree per packet
+        self._leaves: list[HTBClass] = []
+
+    def _rebuild_leaves(self) -> None:
+        self._leaves = [c for c in self.classes.values() if c.is_leaf]
 
     # -- configuration (tc class add/change/del) ---------------------------
 
@@ -168,6 +174,7 @@ class HTBQdisc(Qdisc):
         if parent_cls is not None:
             parent_cls.children.append(cls)
         self.classes[classid] = cls
+        self._rebuild_leaves()
         return cls
 
     def change_class(
@@ -200,6 +207,7 @@ class HTBQdisc(Qdisc):
         self._len -= len(cls.queue)
         self._bytes -= cls.queued_bytes
         del self.classes[classid]
+        self._rebuild_leaves()
 
     def _get(self, classid: int) -> HTBClass:
         cls = self.classes.get(classid)
@@ -302,7 +310,9 @@ class HTBQdisc(Qdisc):
         return chosen
 
     def dequeue(self, now: float) -> Optional[Segment]:
-        backlogged = [c for c in self.classes.values() if c.is_leaf and c.queue]
+        if self._len == 0:
+            return None
+        backlogged = [c for c in self._leaves if c.queue]
         if not backlogged:
             return None
 

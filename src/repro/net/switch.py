@@ -28,6 +28,23 @@ class OutputPort:
     workers' model-update fan-in.
     """
 
+    __slots__ = (
+        "sim",
+        "host_id",
+        "link",
+        "deliver",
+        "buffer_bytes",
+        "on_drop",
+        "_queue",
+        "_queued_bytes",
+        "_busy",
+        "bytes_tx",
+        "busy_time",
+        "_busy_since",
+        "max_backlog",
+        "drops",
+    )
+
     def __init__(
         self,
         sim: "Simulator",
@@ -58,10 +75,11 @@ class OutputPort:
             and self._queued_bytes + seg.size > self.buffer_bytes
         ):
             self.drops += 1
-            self.sim.trace.record(
-                "switch_drop", port=self.host_id, flow=str(seg.flow),
-                seg=seg.index, msg=seg.message.msg_id,
-            )
+            if self.sim.trace.enabled:
+                self.sim.trace.record(
+                    "switch_drop", port=self.host_id, flow=str(seg.flow),
+                    seg=seg.index, msg=seg.message.msg_id,
+                )
             if self.on_drop is not None:
                 self.on_drop(seg)
             return
@@ -77,14 +95,16 @@ class OutputPort:
         seg = self._queue.popleft()
         self._queued_bytes -= seg.size
         self._busy = True
-        self._busy_since = self.sim.now
-        self.sim.schedule(self.link.tx_time(seg.size), self._tx_done, (seg,))
+        sim = self.sim
+        self._busy_since = sim.now
+        sim.schedule(seg.size / self.link.rate, self._tx_done, (seg,))
 
     def _tx_done(self, seg: Segment) -> None:
+        sim = self.sim
         self._busy = False
-        self.busy_time += self.sim.now - self._busy_since
+        self.busy_time += sim.now - self._busy_since
         self.bytes_tx += seg.size
-        self.sim.schedule(self.link.latency, self.deliver, (seg,))
+        sim.schedule(self.link.latency, self.deliver, (seg,))
         self._kick()
 
     @property
@@ -121,7 +141,7 @@ class Switch:
         port = OutputPort(
             self.sim, host_id, link, deliver,
             buffer_bytes=self.buffer_bytes,
-            on_drop=lambda seg: self.on_drop(seg) if self.on_drop else None,
+            on_drop=self.on_drop,
         )
         self._ports[host_id] = port
         return port

@@ -81,6 +81,26 @@ class _RecvState:
 class Transport:
     """Per-host transport endpoint bound to the host NIC."""
 
+    __slots__ = (
+        "sim",
+        "nic",
+        "segment_bytes",
+        "window_segments",
+        "window_jitter",
+        "rto",
+        "slow_start",
+        "_send_states",
+        "_recv_states",
+        "_listeners",
+        "on_deliver",
+        "tolerate_unrouted",
+        "messages_sent",
+        "messages_delivered",
+        "messages_unrouted",
+        "segments_lost",
+        "segments_retransmitted",
+    )
+
     def __init__(
         self,
         sim: "Simulator",
@@ -114,6 +134,9 @@ class Transport:
         self._send_states: Dict[FlowKey, _SendState] = {}
         self._recv_states: Dict[int, _RecvState] = {}
         self._listeners: Dict[int, Callable[[Message], None]] = {}
+        #: observation hook: called with each message just before its
+        #: listener (telemetry taps this instead of wrapping listeners)
+        self.on_deliver: Optional[Callable[[Message], None]] = None
         #: when True, a message arriving for a port with no listener is
         #: counted and dropped instead of raising — fault-injection runs
         #: enable this so traffic in flight to a crashed task is survivable
@@ -144,10 +167,11 @@ class Transport:
             state = _SendState(self._draw_window(), slow_start=self.slow_start)
             self._send_states[message.flow] = state
         state.pending.extend(segment_message(message, self.segment_bytes))
-        self.sim.trace.record(
-            "msg_send", flow=str(message.flow), msg=message.msg_id,
-            size=message.size, msg_kind=message.kind, **message.meta,
-        )
+        if self.sim.trace.enabled:
+            self.sim.trace.record(
+                "msg_send", flow=str(message.flow), msg=message.msg_id,
+                size=message.size, msg_kind=message.kind, **message.meta,
+            )
         self._refill(message.flow, state)
 
     def _draw_window(self) -> int:
@@ -161,11 +185,19 @@ class Transport:
         return max(1, round(self.window_segments * factor))
 
     def _refill(self, flow: FlowKey, state: _SendState) -> None:
-        while state.in_flight < int(state.window) and state.pending:
-            seg = state.pending.popleft()
+        # Burst fast path: while the window allows, hand segments to the
+        # NIC back to back.  ``nic.send`` only touches the qdisc (the
+        # serializer keeps draining on its own clock), so no scheduling
+        # decision can change between two pushes of the same burst — but
+        # ``state.window`` can (a loss-tolerant NIC reports egress drops
+        # synchronously), so the bound is re-read each iteration.
+        pending = state.pending
+        send = self.nic.send
+        while pending and state.in_flight < int(state.window):
+            seg = pending.popleft()
             state.in_flight += 1
-            self.nic.send(seg)
-        if state.in_flight == 0 and not state.pending:
+            send(seg)
+        if state.in_flight == 0 and not pending:
             del self._send_states[flow]
 
     def _on_segment_serialized(self, seg: Segment) -> None:
@@ -237,10 +269,11 @@ class Transport:
         del self._recv_states[msg.msg_id]
         msg.delivered_at = self.sim.now
         self.messages_delivered += 1
-        self.sim.trace.record(
-            "msg_recv", flow=str(msg.flow), msg=msg.msg_id,
-            size=msg.size, msg_kind=msg.kind, **msg.meta,
-        )
+        if self.sim.trace.enabled:
+            self.sim.trace.record(
+                "msg_recv", flow=str(msg.flow), msg=msg.msg_id,
+                size=msg.size, msg_kind=msg.kind, **msg.meta,
+            )
         listener = self._listeners.get(msg.flow.dst_port)
         if listener is None:
             if self.tolerate_unrouted:
@@ -254,6 +287,8 @@ class Transport:
                 f"no listener on {self.nic.host_id}:{msg.flow.dst_port} "
                 f"for {msg.kind} message"
             )
+        if self.on_deliver is not None:
+            self.on_deliver(msg)
         listener(msg)
 
     # -- monitoring ---------------------------------------------------------

@@ -3,13 +3,26 @@
 Events are ordered by ``(time, priority, seq)``.  ``seq`` is a global
 monotone counter so that events scheduled earlier run earlier among ties —
 this makes every simulation fully deterministic for a given call sequence.
+
+Performance notes (the kernel hot path):
+
+* Heap entries are plain ``(time, priority, seq, Event)`` tuples, so the
+  heap's sift comparisons run entirely in C — ``seq`` is unique, so tuple
+  comparison never falls through to comparing :class:`Event` objects.
+  (An earlier revision heapified ``Event`` objects directly; its
+  Python-level ``__lt__`` was the single hottest function of a run.)
+* ``cancel`` is O(1): the event is marked and its heap entry lazily
+  discarded when it surfaces.  To keep cancel-heavy workloads (fault
+  retry loops, NIC shaping re-arms) from growing the heap without bound,
+  the queue compacts in place once tombstones outnumber live events —
+  amortized O(1) per cancel, so the heap never holds more than ~2x the
+  live events (see ``test_cancelled_events_do_not_accumulate``).
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Tuple
 
 from repro.errors import SimulationError
 
@@ -20,6 +33,10 @@ PRIORITY_HIGH = -10
 #: Used for "end of tick" accounting (e.g. telemetry samplers).
 PRIORITY_LOW = 10
 
+#: Compaction floor: below this many tombstones, lazy deletion is cheaper
+#: than rebuilding the heap.
+_MIN_COMPACT = 64
+
 
 class Event:
     """A scheduled callback.
@@ -29,7 +46,7 @@ class Event:
     in order to :meth:`cancel` it.
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled", "pending")
 
     def __init__(
         self,
@@ -45,11 +62,14 @@ class Event:
         self.fn: Optional[Callable[..., Any]] = fn
         self.args = args
         self.cancelled = False
+        #: True while the event sits in a queue (not yet popped).
+        self.pending = True
 
     def cancel(self) -> None:
         """Mark the event so it is skipped when popped.
 
-        Cancellation is O(1); the heap entry is lazily discarded.
+        Cancellation is O(1); the heap entry is lazily discarded (or
+        swept by the owning queue's compaction).
         """
         self.cancelled = True
         self.fn = None  # drop references early
@@ -67,15 +87,20 @@ class Event:
         return f"<Event t={self.time:.6f} prio={self.priority} seq={self.seq} {state}>"
 
 
+#: One heap entry: ``(time, priority, seq, event)``.
+Entry = Tuple[float, int, int, Event]
+
+
 class EventQueue:
     """A binary-heap priority queue of :class:`Event` objects."""
 
-    __slots__ = ("_heap", "_counter", "_live")
+    __slots__ = ("_heap", "_seq", "_live", "_tombstones")
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._counter = itertools.count()
+        self._heap: list[Entry] = []
+        self._seq = 0
         self._live = 0
+        self._tombstones = 0
 
     def __len__(self) -> int:
         return self._live
@@ -93,8 +118,10 @@ class EventQueue:
         """Schedule ``fn(*args)`` at absolute simulated ``time``."""
         if time != time:  # NaN guard
             raise SimulationError("event time is NaN")
-        ev = Event(time, priority, next(self._counter), fn, args)
-        heapq.heappush(self._heap, ev)
+        seq = self._seq
+        self._seq = seq + 1
+        ev = Event(time, priority, seq, fn, args)
+        heapq.heappush(self._heap, (time, priority, seq, ev))
         self._live += 1
         return ev
 
@@ -103,26 +130,55 @@ class EventQueue:
 
         Raises :class:`SimulationError` when empty.
         """
-        while self._heap:
-            ev = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)[3]
             if ev.cancelled:
+                self._tombstones -= 1
                 continue
+            ev.pending = False
             self._live -= 1
             return ev
         raise SimulationError("pop from empty event queue")
 
     def cancel(self, ev: Event) -> None:
-        """Cancel a pending event (idempotent)."""
-        if not ev.cancelled:
-            ev.cancel()
-            self._live -= 1
+        """Cancel a pending event (idempotent; safe after execution).
+
+        O(1).  The dead heap entry is swept lazily; when tombstones
+        outnumber live events the heap is compacted in place, so
+        cancel-heavy workloads cannot grow the queue unboundedly.
+        """
+        if ev.cancelled or not ev.pending:
+            return
+        ev.cancel()
+        self._live -= 1
+        self._tombstones += 1
+        if self._tombstones > _MIN_COMPACT and self._tombstones > self._live:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry and re-heapify (in place)."""
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[3].cancelled]
+        heapq.heapify(heap)
+        self._tombstones = 0
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` when empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+            self._tombstones -= 1
+        return heap[0][0] if heap else None
+
+    @property
+    def heap_size(self) -> int:
+        """Physical heap entries, live plus tombstones (monitoring aid)."""
+        return len(self._heap)
 
     def clear(self) -> None:
+        for entry in self._heap:
+            entry[3].pending = False
         self._heap.clear()
         self._live = 0
+        self._tombstones = 0

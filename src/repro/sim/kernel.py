@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Any, Callable, Iterable, Optional
 
 from repro.errors import SimulationError
@@ -48,10 +49,23 @@ class Simulator:
         args: tuple = (),
         priority: int = PRIORITY_NORMAL,
     ) -> Event:
-        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        """Run ``fn(*args)`` after ``delay`` simulated seconds.
+
+        This is :meth:`EventQueue.push` inlined (schedule is the single
+        most-called kernel entry point; the extra call layer was measurable).
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
-        return self.events.push(self.now + delay, fn, args, priority)
+        time = self.now + delay
+        if time != time:  # NaN guard
+            raise SimulationError("event time is NaN")
+        events = self.events
+        seq = events._seq
+        events._seq = seq + 1
+        ev = Event(time, priority, seq, fn, args)
+        heappush(events._heap, (time, priority, seq, ev))
+        events._live += 1
+        return ev
 
     def schedule_at(
         self,
@@ -107,18 +121,38 @@ class Simulator:
 
         Returns the final clock value.  When stopping at ``until`` the clock
         is advanced to exactly ``until`` (pending events stay queued).
+
+        The loop pops heap entries directly rather than going through
+        ``peek_time``/``step`` — one event dispatch is a handful of C-level
+        operations plus the callback itself.  ``EventQueue._compact``
+        rebuilds the heap *in place*, so the local alias stays valid.
         """
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         try:
+            events = self.events
+            heap = events._heap
             steps = 0
-            while self.events:
-                nxt = self.events.peek_time()
-                if until is not None and nxt is not None and nxt > until:
+            while heap:
+                entry = heap[0]
+                ev = entry[3]
+                if ev.cancelled:
+                    heappop(heap)
+                    events._tombstones -= 1
+                    continue
+                t = entry[0]
+                if until is not None and t > until:
                     self.now = until
-                    return self.now
-                self.step()
+                    return until
+                heappop(heap)
+                ev.pending = False
+                events._live -= 1
+                if t < self.now:
+                    raise SimulationError("event queue went backwards in time")
+                self.now = t
+                self._steps += 1
+                ev.fn(*ev.args)
                 steps += 1
                 if max_steps is not None and steps >= max_steps:
                     raise SimulationError(

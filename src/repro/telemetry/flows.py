@@ -9,7 +9,7 @@ vs TensorLights" — independent of the application-level barrier metrics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
@@ -38,8 +38,8 @@ class FlowRecord:
 class FlowCollector:
     """Collects a :class:`FlowRecord` per delivered message.
 
-    Wraps every listener registered *after* installation, so install the
-    collector before the applications bind their ports::
+    Taps every transport's :attr:`~repro.net.transport.Transport.on_deliver`
+    hook (chaining with any hook already present)::
 
         collector = FlowCollector.install(network)
         ... deploy apps ...
@@ -56,17 +56,15 @@ class FlowCollector:
     def install(cls, network: "StarNetwork") -> "FlowCollector":
         collector = cls()
         for transport in network.transports.values():
-            original_listen = transport.listen
-
-            def listen(port: int, callback: Callable[[Message], None],
-                       _orig=original_listen) -> None:
-                def wrapped(msg: Message) -> None:
+            prev = transport.on_deliver
+            if prev is None:
+                transport.on_deliver = collector.record
+            else:
+                def chained(msg: Message, _prev=prev) -> None:
+                    _prev(msg)
                     collector.record(msg)
-                    callback(msg)
 
-                _orig(port, wrapped)
-
-            transport.listen = listen  # type: ignore[method-assign]
+                transport.on_deliver = chained
         return collector
 
     def record(self, msg: Message) -> None:

@@ -1,0 +1,80 @@
+"""Pinned fixed-seed content hashes.
+
+These hashes were captured from the pre-optimization pipeline (before the
+tuple-heap kernel and the transport/NIC fast paths) and pin the invariant
+those optimizations promised: *byte-identical* results, not merely
+statistically equivalent ones.  A mismatch means an arithmetic or
+event-ordering change leaked into the hot path — e.g. replacing
+``size / rate`` with a precomputed reciprocal, reordering same-time
+events, or coalescing segments.
+
+If a change *intends* to alter results (a model fix, a new measurement),
+regenerate with::
+
+    PYTHONPATH=src python -c "
+    from repro.api import Scenario, execute_scenario
+    from repro.experiments.export import result_content_hash
+    ..."
+
+and say so in the commit message; never regenerate to make an
+optimization pass.
+"""
+
+import pytest
+
+from repro.experiments.config import Architecture, ExperimentConfig, Policy
+from repro.experiments.export import result_content_hash
+from repro.experiments.runtime import execute_scenario
+from repro.experiments.scenario import Scenario
+
+#: (config, sha256 of the lossless result dict minus wall_seconds);
+#: captured at commit 8e4837a, before the fast-path kernel landed.
+GOLDEN = [
+    pytest.param(
+        ExperimentConfig.tiny(),
+        "49f5e3d75035eac61f827d5e1f81a835e35320c4c0043916e6c684ac6afffb8f",
+        id="fig1-fifo",
+    ),
+    pytest.param(
+        ExperimentConfig.tiny(policy=Policy.TLS_ONE),
+        "91640d163a1e3b97e9c2ccb7486c1b98a515d23f7eb78a76dfe6954ed4b425ee",
+        id="fig1-tls-one",
+    ),
+    pytest.param(
+        ExperimentConfig.tiny(architecture=Architecture.ALLREDUCE),
+        "675ec19b9f6404ab4f2ad610f50af9060419c2424a1b38d5203c597d418cdc04",
+        id="collectives-ring",
+    ),
+    pytest.param(
+        ExperimentConfig.tiny(
+            architecture=Architecture.MIXED, policy=Policy.TLS_ONE
+        ),
+        "065dc55288967dd135d6f2ab484fa3d421c3ce25e3ce9fe848e1e3ea6449fa46",
+        id="collectives-mixed",
+    ),
+]
+
+
+@pytest.mark.parametrize("config, expected", GOLDEN)
+def test_content_hash_matches_pre_optimization_pipeline(config, expected):
+    res = execute_scenario(Scenario(config=config))
+    assert result_content_hash(res) == expected
+
+
+def test_same_scenario_twice_hashes_identically():
+    cfg = ExperimentConfig.tiny(seed=123)
+    a = execute_scenario(Scenario(config=cfg))
+    b = execute_scenario(Scenario(config=cfg))
+    assert result_content_hash(a) == result_content_hash(b)
+
+
+def test_hash_ignores_wall_clock_but_not_measurements():
+    cfg = ExperimentConfig.tiny()
+    a = execute_scenario(Scenario(config=cfg))
+    b = execute_scenario(Scenario(config=cfg))
+    # wall_seconds always differs between runs; the hash must not see it
+    assert a.wall_seconds != b.wall_seconds
+    assert result_content_hash(a) == result_content_hash(b)
+    # but a different seed must change the hash
+    other = execute_scenario(Scenario(config=ExperimentConfig.tiny(seed=999)))
+    assert result_content_hash(other) != result_content_hash(a)

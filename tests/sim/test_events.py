@@ -90,6 +90,48 @@ def test_clear():
     assert not q
 
 
+def test_cancelled_events_do_not_accumulate():
+    """Cancel-heavy workloads must not grow the heap without bound.
+
+    Regression test: lazy cancellation used to leave every tombstone in
+    the heap until its time surfaced, so a schedule/cancel loop (the NIC
+    retry-timer pattern) grew the heap linearly with simulated time.
+    """
+    q = EventQueue()
+    anchor = q.push(1e9, lambda: None)  # far-future event pins the heap
+    for i in range(50_000):
+        ev = q.push(1.0 + i * 1e-6, lambda: None)
+        q.cancel(ev)
+    assert len(q) == 1
+    # bounded: compaction keeps physical entries ~O(live), not O(cancels)
+    assert q.heap_size < 200
+    assert q.pop() is anchor
+
+
+def test_cancel_after_pop_is_noop():
+    """Cancelling an already-executed event must not corrupt accounting."""
+    q = EventQueue()
+    a = q.push(1.0, lambda: None)
+    b = q.push(2.0, lambda: None)
+    assert q.pop() is a
+    q.cancel(a)  # already ran: must not decrement the live count
+    assert len(q) == 1
+    assert q.pop() is b
+    assert len(q) == 0
+
+
+def test_compaction_preserves_pop_order():
+    q = EventQueue()
+    handles = [q.push(float(i), lambda: None) for i in range(500)]
+    for ev in handles[::2]:
+        q.cancel(ev)
+    # push/cancel more to force compaction past the floor
+    for i in range(500):
+        q.cancel(q.push(1000.0 + i, lambda: None))
+    popped = [q.pop().time for _ in range(len(q))]
+    assert popped == [float(i) for i in range(1, 500, 2)]
+
+
 @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=200))
 def test_property_pop_order_is_sorted(times):
     q = EventQueue()

@@ -1,0 +1,88 @@
+"""The stable surface: repro.api exports and the runner deprecation shim."""
+
+import inspect
+import warnings
+
+import pytest
+
+import repro.api as api
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runtime import ExperimentResult
+
+
+def test_every_name_in_all_resolves():
+    missing = [name for name in api.__all__ if not hasattr(api, name)]
+    assert missing == []
+
+
+def test_all_is_sorted_and_unique():
+    assert list(api.__all__) == sorted(set(api.__all__))
+
+
+def test_no_private_names_exported():
+    assert not any(name.startswith("_") for name in api.__all__)
+
+
+def test_facade_covers_the_experiment_pipeline():
+    # The names the docs/examples rely on; removing any is a breaking
+    # change gated by the deprecation policy in docs/api.md.
+    for name in (
+        "Scenario",
+        "ExperimentConfig",
+        "materialize",
+        "Runtime",
+        "Campaign",
+        "SerialExecutor",
+        "ParallelExecutor",
+        "ResultCache",
+        "FaultPlan",
+        "WorkloadSpec",
+        "Architecture",
+        "Policy",
+        "ExperimentResult",
+        "execute_scenario",
+        "scenario_grid",
+    ):
+        assert name in api.__all__, name
+
+
+def test_facade_names_are_the_canonical_objects():
+    """Re-exports, not copies: identity with the defining modules."""
+    from repro.experiments.campaign import Campaign
+    from repro.experiments.runtime import Runtime, execute_scenario
+    from repro.experiments.scenario import Scenario
+
+    assert api.Campaign is Campaign
+    assert api.Runtime is Runtime
+    assert api.Scenario is Scenario
+    assert api.execute_scenario is execute_scenario
+
+
+def test_facade_classes_have_docstrings():
+    for name in api.__all__:
+        obj = getattr(api, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            assert obj.__doc__, f"{name} has no docstring"
+
+
+def test_run_experiment_warns_and_forwards():
+    from repro.experiments.runner import run_experiment
+
+    cfg = ExperimentConfig.tiny()
+    with pytest.warns(DeprecationWarning, match="run_experiment is deprecated"):
+        res = run_experiment(cfg)
+    assert isinstance(res, ExperimentResult)
+    assert res.config == cfg
+
+
+def test_run_experiment_matches_pipeline():
+    """The shim is byte-equivalent to the Scenario/Runtime pipeline."""
+    from repro.experiments.export import result_content_hash
+    from repro.experiments.runner import run_experiment
+
+    cfg = ExperimentConfig.tiny()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy = run_experiment(cfg)
+    modern = api.execute_scenario(api.Scenario(config=cfg))
+    assert result_content_hash(legacy) == result_content_hash(modern)
