@@ -1,0 +1,174 @@
+"""Overhead guard for the metrics registry (``sim.metrics``).
+
+The registry's contract is *zero-cost when disabled*: every hot-path push
+site guards on ``sim.metrics.enabled``, so a run with metrics off must
+stay within a few percent of the pre-instrumentation baseline.  This
+benchmark enforces that, and reports (informationally) what enabling the
+registry actually costs.
+
+Runnable directly — the metrics-smoke CI job does::
+
+    python benchmarks/bench_metrics_overhead.py --quick \
+        --baseline BENCH_simulator.json --max-regression 0.05
+
+which re-measures the same three end-to-end scenarios as
+``bench_simulator_speed`` with the registry disabled (the default code
+path), fails if any is more than ``--max-regression`` below the
+checked-in events/sec baseline, and writes ``BENCH_metrics.json`` with
+both disabled and enabled numbers plus the enabled-overhead percentage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runtime import materialize
+from repro.experiments.scenario import Scenario
+from repro.sim import Simulator
+
+sys.path.insert(0, ".")  # conftest sibling import under pytest rootdir
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_simulator_speed import _bench_scenarios, check_regression  # noqa: E402
+
+
+def measure(config: ExperimentConfig, repeats: int, metrics: bool) -> dict:
+    """Best-of-``repeats`` events/sec with the registry on or off."""
+    best_rate = 0.0
+    best_dt = 0.0
+    events = 0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        res = materialize(Scenario(config=config), metrics=metrics).run()
+        dt = time.perf_counter() - t0
+        events = res.sim_events
+        rate = events / dt
+        if rate > best_rate:
+            best_rate, best_dt = rate, dt
+    return {
+        "sim_events": events,
+        "best_seconds": round(best_dt, 4),
+        "events_per_sec": round(best_rate),
+    }
+
+
+def run_overhead_suite(quick: bool = False) -> dict:
+    """Measure all scenarios disabled and enabled.
+
+    ``quick`` cuts repeats only — iterations stay at the baseline's 10,
+    because events/sec is compared against the full-mode
+    ``BENCH_simulator.json`` and shorter runs amortize less setup
+    (cluster build, import cost) per event, which would read as a ~20%
+    phantom regression.
+    """
+    iterations = 10
+    repeats = 1 if quick else 3
+    report: dict = {
+        "benchmark": "metrics_overhead",
+        "mode": "quick" if quick else "full",
+        "iterations": iterations,
+        "best_of": repeats,
+        "scenarios": {},
+    }
+    for name, cfg in _bench_scenarios(iterations).items():
+        disabled = measure(cfg, repeats, metrics=False)
+        enabled = measure(cfg, repeats, metrics=True)
+        overhead = 1.0 - enabled["events_per_sec"] / disabled["events_per_sec"]
+        report["scenarios"][name] = {
+            "disabled": disabled,
+            "enabled": enabled,
+            "enabled_overhead_pct": round(100.0 * overhead, 1),
+        }
+    return report
+
+
+def disabled_view(report: dict) -> dict:
+    """The disabled-registry numbers in ``BENCH_simulator.json`` shape,
+    so :func:`bench_simulator_speed.check_regression` applies directly."""
+    return {
+        "scenarios": {
+            name: entry["disabled"]
+            for name, entry in report["scenarios"].items()
+        }
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure metrics-registry overhead and write BENCH_metrics.json"
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: fewer iterations and repeats")
+    parser.add_argument("--output", default="BENCH_metrics.json",
+                        help="report path (default: %(default)s)")
+    parser.add_argument("--baseline", default=None,
+                        help="BENCH_simulator.json to compare the disabled "
+                             "numbers against; exit 1 on regression")
+    parser.add_argument("--max-regression", type=float, default=0.05,
+                        help="allowed disabled-mode events/sec drop vs the "
+                             "baseline (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    report = run_overhead_suite(quick=args.quick)
+    for name, entry in report["scenarios"].items():
+        print(f"{name:20s} disabled {entry['disabled']['events_per_sec']:>12,} ev/s"
+              f"   enabled {entry['enabled']['events_per_sec']:>12,} ev/s"
+              f"   overhead {entry['enabled_overhead_pct']:>5.1f}%")
+
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        failures = check_regression(
+            disabled_view(report), baseline, args.max_regression
+        )
+        if failures:
+            print("METRICS OVERHEAD REGRESSION (registry disabled):")
+            for line in failures:
+                print(f"  {line}")
+            return 1
+        print(f"disabled-registry throughput within {args.max_regression:.0%} "
+              f"of {args.baseline}")
+    return 0
+
+
+def test_disabled_guard_is_cheap(benchmark):
+    """1M guarded push-site checks against a disabled registry."""
+    sim = Simulator()
+    metrics = sim.metrics
+
+    def run():
+        n = 0
+        for _ in range(1_000_000):
+            if metrics.enabled:
+                metrics.counter("x").inc()  # pragma: no cover
+            n += 1
+        return n
+
+    assert benchmark(run) == 1_000_000
+
+
+def test_counter_push_throughput(benchmark):
+    """100k enabled counter increments through the get-or-create path."""
+    sim = Simulator()
+    sim.metrics.enabled = True
+    metrics = sim.metrics
+
+    def run():
+        for i in range(100_000):
+            metrics.counter("tx", host="h00").inc()
+        return metrics.counter("tx", host="h00").value
+
+    assert benchmark(run) > 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

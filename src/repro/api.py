@@ -38,8 +38,15 @@ from repro.experiments.runtime import (
 from repro.experiments.scenario import Scenario, scenario_grid
 from repro.experiments.workloads import WorkloadSpec
 from repro.faults.plan import FaultPlan
+from repro.telemetry import (
+    ActiveWindow,
+    MetricsRegistry,
+    scrape_cluster,
+    window_mean,
+)
 
 __all__ = [
+    "ActiveWindow",
     "Architecture",
     "Campaign",
     "CampaignEvent",
@@ -50,6 +57,7 @@ __all__ = [
     "ExperimentResult",
     "FaultPlan",
     "HostSamples",
+    "MetricsRegistry",
     "ParallelExecutor",
     "Policy",
     "ResultCache",
@@ -60,4 +68,6 @@ __all__ = [
     "execute_scenario",
     "materialize",
     "scenario_grid",
+    "scrape_cluster",
+    "window_mean",
 ]

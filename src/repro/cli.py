@@ -8,6 +8,7 @@ Examples::
     tensorlights fig5b --batches 1 4 16 --cache
     tensorlights table2 --seed 7
     tensorlights collectives --link-rate 1Gbit        # all-reduce generality
+    tensorlights utilization --quick                  # Result #3 direction
     tensorlights run --placement 1 --policy tls-one   # one raw experiment
 
 ``--parallel N`` fans independent runs out over N worker processes;
@@ -153,7 +154,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     # Figures whose runs are independent grid points go through a Campaign;
     # fig1/fig4/fct need in-process tracing hooks and always run serial.
     campaign_commands = {"fig2", "fig3", "fig5a", "fig5b", "fig6", "table2",
-                         "robustness", "run"}
+                         "robustness", "run", "utilization"}
     for name in ("table1", "fig1", "fig2", "fig3", "fig4", "fig5a", "fig5b",
                  "fig6", "table2", "fct"):
         p = sub.add_parser(name, help=f"regenerate {name}")
@@ -207,6 +208,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--channels", type=int, default=None, metavar="N",
                    help="concurrent chunk channels per ring member")
 
+    p = sub.add_parser(
+        "utilization",
+        help="Result #3: normalized NIC/CPU utilization over the active "
+             "window, FIFO vs TLs-One vs TLs-RR",
+    )
+    _add_common(p)
+    _add_campaign(p)
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke scale: fewer iterations, same topology")
+    p.add_argument("--export-metrics", type=str, default=None, metavar="PATH",
+                   help="also run with the metrics registry on and write one "
+                        "snapshot per scenario to PATH (CSV if PATH ends "
+                        "with .csv, JSONL otherwise)")
+
     p = sub.add_parser("run", help="run one raw experiment")
     _add_common(p)
     _add_campaign(p)
@@ -257,6 +272,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         print(result.render())
         return 0
+
+    if args.command == "utilization":
+        from repro.experiments.figures import utilization
+        from repro.telemetry import write_csv, write_jsonl
+
+        collect = args.export_metrics is not None
+        report = utilization.generate(
+            cfg,
+            campaign=None if collect else _campaign(args),
+            quick=args.quick,
+            collect_metrics=collect,
+        )
+        print(report.render())
+        if collect:
+            writer = (write_csv if args.export_metrics.endswith(".csv")
+                      else write_jsonl)
+            writer(args.export_metrics, report.snapshots)
+            print(f"wrote metrics snapshots to {args.export_metrics}")
+        # The exit code IS the reproduction check (paper Result #3).
+        return 0 if report.direction_ok() else 1
 
     if args.command == "run":
         cfg = cfg.replace(placement_index=args.placement,

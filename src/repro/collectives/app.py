@@ -100,7 +100,16 @@ class AllReduceApplication:
 
         #: fired with the job's JobMetrics when every member has finished
         self.done = Signal()
+        #: fired on *any* terminal state (success or permanent failure) —
+        #: same contract as :attr:`DLApplication.terminal`
+        self.terminal = Signal()
         self._launched = False
+
+    def mark_failed(self) -> None:
+        """Record that the job can never finish (fault injection)."""
+        self.failed = True
+        if not self.terminal.fired:
+            self.terminal.fire(None)
 
     # -- controller-facing protocol (shared with DLApplication) -------------
 
@@ -154,5 +163,7 @@ class AllReduceApplication:
                 member.close()
                 ep.host.remove_task(member)
             self.done.fire(self.metrics)
+            if not self.terminal.fired:
+                self.terminal.fire(self.metrics)
 
         sim.spawn(finalize(), name=f"{self.spec.job_id}/finalize")

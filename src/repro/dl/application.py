@@ -85,6 +85,8 @@ class DLApplication:
                    shard_index=i, recovery=recovery)
             for i, ep in enumerate(self.ps_endpoints)
         ]
+        for ps in self.ps_tasks:
+            ps.on_abandon = self.mark_failed
         self.workers = [
             WorkerTask(spec, i, ep, self.ps_endpoints, self.metrics,
                        recovery=recovery)
@@ -99,7 +101,18 @@ class DLApplication:
 
         #: fired with the job's JobMetrics when every PS shard has finished
         self.done = Signal()
+        #: fired when the job reaches *any* terminal state — completion or
+        #: permanent failure.  Unlike ``done`` (success only), waiting on
+        #: this never hangs, so run-scoped services (samplers, telemetry)
+        #: key their shutdown on it.
+        self.terminal = Signal()
         self._launched = False
+
+    def mark_failed(self) -> None:
+        """Record that the job can never finish (fault injection)."""
+        self.failed = True
+        if not self.terminal.fired:
+            self.terminal.fire(None)
 
     # -- controller-facing protocol (shared with AllReduceApplication) -------
 
@@ -178,6 +191,8 @@ class DLApplication:
             for ep, wk in zip(self.worker_endpoints, self.workers):
                 ep.host.remove_task(wk)
             self.done.fire(self.metrics)
+            if not self.terminal.fired:
+                self.terminal.fire(self.metrics)
 
         sim.spawn(finalize(), name=f"{self.spec.job_id}/finalize")
 

@@ -23,7 +23,7 @@ worker exits the barrier when all shards of the iteration have arrived.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Set, TYPE_CHECKING
 
 from repro.dl.job import JobSpec
 from repro.dl.metrics import JobMetrics
@@ -128,9 +128,12 @@ class WorkerTask:
                 msg = yield self.inbox.get()
                 assert msg.kind == MODEL_UPDATE, f"{self.name} got {msg.kind}"
             if barrier_entered_at is not None:
-                self.metrics.barriers.record(
-                    iteration - 1, sim.now - barrier_entered_at
-                )
+                wait = sim.now - barrier_entered_at
+                self.metrics.barriers.record(iteration - 1, wait)
+                if sim.metrics.enabled:
+                    sim.metrics.histogram(
+                        "dl_barrier_wait_seconds", job=self.spec.job_id
+                    ).observe(wait)
             # Compute on the local batch.
             jitter = sim.rng.lognormal_factor(
                 f"compute/{self.name}", spec.compute_jitter_sigma
@@ -197,9 +200,12 @@ class WorkerTask:
                 self._send_gradient(iteration)
                 continue
             if barrier_entered_at is not None:
-                self.metrics.barriers.record(
-                    iteration - 1, sim.now - barrier_entered_at
-                )
+                wait = sim.now - barrier_entered_at
+                self.metrics.barriers.record(iteration - 1, wait)
+                if sim.metrics.enabled:
+                    sim.metrics.histogram(
+                        "dl_barrier_wait_seconds", job=self.spec.job_id
+                    ).observe(wait)
             jitter = sim.rng.lognormal_factor(
                 f"compute/{self.name}", spec.compute_jitter_sigma
             )
@@ -247,6 +253,10 @@ class PSTask:
         self.inbox = Mailbox(endpoint.host.sim, name=self.name)
         endpoint.host.transport.listen(endpoint.port, self.inbox.put)
         self.done = Signal()
+        #: invoked if the recoverable loop abandons the job (every worker
+        #: silent past the retry budget) — the application marks the job
+        #: failed so run-scoped services see a terminal state
+        self.on_abandon: Optional[Callable[[], None]] = None
         self.global_step = 0
         # fault-injection state (recovery-aware sync loop only)
         self.crashed = False
@@ -351,7 +361,10 @@ class PSTask:
                     if got and stalls > rec.barrier_grace:
                         break           # proceed with the survivors
                     if not got and stalls > rec.max_retries:
-                        return          # every worker is gone: abandon the job
+                        # Every worker is gone: abandon the job.
+                        if self.on_abandon is not None:
+                            self.on_abandon()
+                        return
                     # The model update may have died with a crashed queue;
                     # re-broadcast to the workers still missing.
                     self._broadcast(iteration, targets=[

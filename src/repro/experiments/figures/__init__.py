@@ -18,7 +18,8 @@ from repro.experiments.figures import (  # noqa: F401
     robustness,
     table1,
     table2,
+    utilization,
 )
 
 __all__ = ["collectives", "fct", "fig1", "fig2", "fig3", "fig4", "fig5a",
-           "fig5b", "fig6", "robustness", "table1", "table2"]
+           "fig5b", "fig6", "robustness", "table1", "table2", "utilization"]

@@ -1,0 +1,169 @@
+"""The utilization report: paper Result #3, on the observability stack.
+
+The paper's Result #3: "TensorLights improves the NIC utilization by
+~1.2x and the worker CPU utilization by ~1.1x" inside the active window
+(100 s–1250 s) when all jobs run concurrently.  This report reproduces
+that comparison — FIFO vs TLs-One vs TLs-RR, normalized over FIFO — from
+the vmstat/ifstat sampling pipeline, and (optionally) attaches one
+metrics-registry snapshot per scenario keyed by scenario content hash,
+ready for :mod:`repro.telemetry.exporter`.
+
+Where :mod:`~repro.experiments.figures.table2` renders the paper's exact
+table layout, this report leads with the headline NIC numbers, checks the
+claimed *direction* programmatically (:meth:`UtilizationReport.direction_ok`
+— the CLI's exit code), and carries the export hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.experiments.campaign import Campaign
+from repro.experiments.config import ExperimentConfig, Policy
+from repro.experiments.figures.common import (
+    ALL_POLICIES,
+    base_config,
+    policy_scenarios,
+    run_policies,
+)
+from repro.experiments.report import TextTable
+from repro.experiments.runtime import ExperimentResult, materialize
+from repro.telemetry import ActiveWindow
+
+#: Report rows: (resource label, series name, host kind, paper "One/RR").
+ROWS: Tuple[Tuple[str, str, str, str], ...] = (
+    ("NIC Outbound", "net_out", "all", "1.20x/1.21x"),
+    ("NIC Inbound", "net_in", "all", "1.20x/1.21x"),
+    ("Worker CPU", "cpu", "worker", "1.13x/1.12x"),
+    ("PS CPU", "cpu", "ps", "1.04x/1.03x"),
+)
+
+#: The rows the paper's Result #3 makes a directional claim about.
+DIRECTION_ROWS: Tuple[Tuple[str, str], ...] = (
+    ("net_out", "all"),
+    ("net_in", "all"),
+    ("cpu", "worker"),
+)
+
+#: Slack for "≥ FIFO": sampled utilizations carry discretization noise.
+DIRECTION_EPSILON = 0.005
+
+
+@dataclass
+class UtilizationReport:
+    """Normalized utilization per policy plus optional metrics snapshots."""
+
+    results: Dict[Policy, ExperimentResult]
+    window: ActiveWindow
+    #: scenario content hash -> ``sim.metrics.snapshot()`` (only populated
+    #: when generated with ``collect_metrics=True``)
+    snapshots: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def _hosts(self, result: ExperimentResult, kind: str) -> List[str]:
+        if kind == "ps":
+            return result.ps_hosts
+        if kind == "worker":
+            return result.worker_only_hosts()
+        return result.ps_hosts + result.worker_only_hosts()
+
+    def utilization(self, policy: Policy, series: str, kind: str) -> float:
+        """Mean utilization in the active window (fraction of capacity)."""
+        result = self.results[policy]
+        return result.mean_utilization(
+            self._hosts(result, kind), series, self.window
+        )
+
+    def normalized(self, policy: Policy, series: str, kind: str) -> float:
+        """Utilization relative to FIFO (the paper's normalization)."""
+        return self.utilization(policy, series, kind) / self.utilization(
+            Policy.FIFO, series, kind
+        )
+
+    def direction_ok(self) -> bool:
+        """Does the run reproduce the paper's direction?
+
+        True when TLs-One and TLs-RR are both >= FIFO (within
+        :data:`DIRECTION_EPSILON`) on every :data:`DIRECTION_ROWS` entry —
+        normalized NIC utilization (both directions, all hosts) and
+        worker-host CPU utilization.
+        """
+        for series, kind in DIRECTION_ROWS:
+            for policy in (Policy.TLS_ONE, Policy.TLS_RR):
+                if self.normalized(policy, series, kind) < 1.0 - DIRECTION_EPSILON:
+                    return False
+        return True
+
+    def render(self) -> str:
+        table = TextTable(
+            ["Resource", "Hosts", "FIFO", "TLs-One", "TLs-RR", "[paper One/RR]"],
+            title=(
+                "Utilization (Result #3): mean over active window "
+                f"[{self.window.start:.1f}s, {self.window.end:.1f}s], "
+                "normalized columns relative to FIFO"
+            ),
+        )
+        for label, series, kind, paper in ROWS:
+            table.add_row(
+                label,
+                {"ps": "PS", "worker": "Worker", "all": "All"}[kind],
+                f"{self.utilization(Policy.FIFO, series, kind):.3f}",
+                f"{self.normalized(Policy.TLS_ONE, series, kind):.2f}x",
+                f"{self.normalized(Policy.TLS_RR, series, kind):.2f}x",
+                paper,
+            )
+        verdict = (
+            "direction OK: TLs-One/TLs-RR >= FIFO on NIC and worker CPU"
+            if self.direction_ok()
+            else "direction NOT reproduced at this scale"
+        )
+        return table.render() + f"\n{verdict}\n"
+
+
+def generate(
+    base: Optional[ExperimentConfig] = None,
+    window: Optional[ActiveWindow] = None,
+    campaign: Optional[Campaign] = None,
+    quick: bool = False,
+    collect_metrics: bool = False,
+    **overrides,
+) -> UtilizationReport:
+    """Run placement #1 with telemetry under all three policies.
+
+    Args:
+        quick: CI smoke scale — fewer iterations, unchanged topology, so
+            the contention the paper measures still exists.
+        collect_metrics: additionally run each scenario with the metrics
+            registry on and keep one snapshot per scenario content hash
+            (bypasses the campaign for those runs: in-process observation
+            is not part of Scenario identity, so snapshots can never come
+            from a cache).
+    """
+    cfg = base_config(base, **overrides).replace(
+        placement_index=1, sample_hosts=True
+    )
+    if quick:
+        cfg = cfg.replace(iterations=min(cfg.iterations, 8))
+    if collect_metrics:
+        results: Dict[Policy, ExperimentResult] = {}
+        snapshots: Dict[str, Dict[str, Any]] = {}
+        for policy, scenario in zip(
+            ALL_POLICIES, policy_scenarios(cfg, ALL_POLICIES)
+        ):
+            result = materialize(scenario, metrics=True).run()
+            results[policy] = result
+            snapshots[scenario.key()] = result.metrics_snapshot
+    else:
+        results = run_policies(cfg, ALL_POLICIES, campaign)
+        snapshots = {}
+    if window is None:
+        # Same auto-window as Table II: the paper's fixed 100 s–1250 s
+        # window scaled to this run — end before the earliest completion
+        # in ANY run, start after the launch transient.
+        all_active_until = min(
+            min(m.end_time for m in r.metrics.values())
+            for r in results.values()
+        )
+        window = ActiveWindow(0.45 * all_active_until, 0.95 * all_active_until)
+    return UtilizationReport(results=results, window=window,
+                             snapshots=snapshots)

@@ -81,6 +81,12 @@ class ExperimentResult:
     host_ids: List[str] = field(default_factory=list)  # cluster's actual ids
     #: the fault injector's audit log (empty for fault-free runs)
     fault_events: List[Dict[str, Any]] = field(default_factory=list)
+    #: ``sim.metrics.snapshot()`` when the run was materialized with
+    #: ``metrics=True``; empty otherwise.  Deliberately NOT part of the
+    #: serialized result schema (``result_to_full_dict``) — the content
+    #: hash and the on-disk cache must be identical with metrics on or
+    #: off, so this field is dropped on cache round-trips.
+    metrics_snapshot: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def avg_jct(self) -> float:
@@ -165,12 +171,16 @@ class Runtime:
             app.launch()
 
         if samplers:
-            # Samplers loop forever; stop them the moment the last job ends
-            # so the event queue can drain.
+            # Samplers loop forever; stop them the moment the last job
+            # reaches a *terminal* state so the event queue can drain.
+            # Waiting on ``done`` instead would hang forever on early-exit
+            # paths (a permanently crashed PS, a proceed-with-survivors
+            # job that abandons): those jobs never fire ``done``, and the
+            # still-looping samplers keep the queue non-empty.
             from repro.sim.primitives import AllOf
 
             def stop_sampling():
-                yield AllOf([a.done for a in apps])
+                yield AllOf([a.terminal for a in apps])
                 for s in samplers.values():
                     s.stop()
 
@@ -185,6 +195,13 @@ class Runtime:
                     f"jobs did not survive the fault plan: {unfinished}"
                 )
             raise ConfigError(f"jobs did not finish: {unfinished}")
+
+        metrics_snapshot: Dict[str, Any] = {}
+        if sim.metrics.enabled:
+            from repro.telemetry.scrape import scrape_cluster
+
+            scrape_cluster(sim.metrics, self.cluster, self.controller)
+            metrics_snapshot = sim.metrics.snapshot()
 
         return ExperimentResult(
             config=config,
@@ -202,6 +219,7 @@ class Runtime:
             fault_events=(
                 list(self.injector.events) if self.injector is not None else []
             ),
+            metrics_snapshot=metrics_snapshot,
         )
 
 
@@ -212,6 +230,7 @@ def materialize(
     controller_factory: Optional[
         Callable[[Cluster, ExperimentConfig], Optional[TensorLights]]
     ] = None,
+    metrics: bool = False,
 ) -> Runtime:
     """Build the live simulation a scenario describes (without running it).
 
@@ -225,12 +244,20 @@ def materialize(
             may return ``None`` for no controller.  In-process hooks are
             not part of the Scenario identity — scenarios run through the
             cached/parallel campaign path must not rely on them.
+        metrics: enable the simulation-wide metrics registry
+            (``sim.metrics``); :meth:`Runtime.run` then scrapes the
+            cluster and stores the snapshot in
+            :attr:`ExperimentResult.metrics_snapshot`.  Like the hooks
+            above, this is an in-process observation switch, not part of
+            Scenario identity — it cannot change simulated results.
     """
     config = scenario.config
     wall_start = time.perf_counter()
     sim = Simulator(seed=config.seed, trace=trace_kinds is not None)
     if trace_kinds is not None:
         sim.trace.kinds = set(trace_kinds)
+    if metrics:
+        sim.metrics.enabled = True
     cluster = Cluster(
         sim,
         n_hosts=config.n_hosts,

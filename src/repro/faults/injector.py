@@ -137,7 +137,9 @@ class FaultInjector:
                 if ep.host_id == fault.host:
                     app.kill_worker(i)
             if lost_ps and permanent:
-                app.failed = True
+                # mark_failed (not a bare flag) so the terminal signal
+                # fires and run-scoped services shut down.
+                app.mark_failed()
 
     def _host_recover(self, fault: HostCrash) -> None:
         self._record("host_recover", host=fault.host)
@@ -164,7 +166,7 @@ class FaultInjector:
         app = self._app_of(fault.job)
         app.crash_ps(0)
         if fault.recover_after is None:
-            app.failed = True
+            app.mark_failed()
 
     def _ps_recover(self, fault: PSCrash) -> None:
         self._record("ps_recover", job=fault.job,

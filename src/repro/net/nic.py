@@ -145,6 +145,10 @@ class NIC:
                     "egress_drop", host=self.host_id, flow=str(seg.flow),
                     seg=seg.index,
                 )
+                if self.sim.metrics.enabled:
+                    self.sim.metrics.counter(
+                        "nic_egress_drops", host=self.host_id
+                    ).inc()
                 self.on_segment_dropped(seg)
                 return
             raise NetworkError(
@@ -182,6 +186,9 @@ class NIC:
                 "nic_tx", host=self.host_id, flow=str(seg.flow), seg=seg.index,
                 msg=seg.message.msg_id, size=seg.size,
             )
+        if sim.metrics.enabled:
+            sim.metrics.counter("nic_tx_bytes", host=self.host_id).inc(seg.size)
+            sim.metrics.counter("nic_tx_segments", host=self.host_id).inc()
         if self._deliver is None:
             raise NetworkError(f"NIC {self.host_id} has no link attached")
         sim.schedule(self._link_latency, self._deliver, (seg,))
@@ -194,6 +201,8 @@ class NIC:
         self.sim.trace.record(
             "aqm_drop", host=self.host_id, flow=str(seg.flow), seg=seg.index,
         )
+        if self.sim.metrics.enabled:
+            self.sim.metrics.counter("nic_qdisc_drops", host=self.host_id).inc()
         if self.on_segment_dropped is not None:
             self.on_segment_dropped(seg)
 

@@ -80,6 +80,10 @@ class OutputPort:
                     "switch_drop", port=self.host_id, flow=str(seg.flow),
                     seg=seg.index, msg=seg.message.msg_id,
                 )
+            if self.sim.metrics.enabled:
+                self.sim.metrics.counter(
+                    "switch_port_drops", port=self.host_id
+                ).inc()
             if self.on_drop is not None:
                 self.on_drop(seg)
             return

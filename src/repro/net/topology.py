@@ -6,11 +6,12 @@ All links are 10 Gbps."
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, TYPE_CHECKING
+from typing import Callable, Dict, Iterable, List, Optional, TYPE_CHECKING
 
 from repro.errors import NetworkError
 from repro.net.link import Link
 from repro.net.nic import NIC
+from repro.net.packet import Message
 from repro.net.switch import Switch
 from repro.net.transport import (
     DEFAULT_SEGMENT_BYTES,
@@ -21,6 +22,22 @@ from repro.units import gbps
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.kernel import Simulator
+
+#: A delivery tap: called with every fully reassembled message.
+DeliveryTap = Callable[[Message], None]
+
+
+def _chain_deliver(transport: Transport, tap: DeliveryTap) -> None:
+    """Append ``tap`` to a transport's ``on_deliver`` chain."""
+    prev = transport.on_deliver
+    if prev is None:
+        transport.on_deliver = tap
+    else:
+        def chained(msg: Message, _prev=prev, _tap=tap) -> None:
+            _prev(msg)
+            _tap(msg)
+
+        transport.on_deliver = chained
 
 
 class StarNetwork:
@@ -46,20 +63,42 @@ class StarNetwork:
         )
         self.nics: Dict[str, NIC] = {}
         self.transports: Dict[str, Transport] = {}
+        self._segment_bytes = segment_bytes
+        self._window_segments = window_segments
+        self._window_jitter = window_jitter
+        self._rto = rto
+        self._delivery_taps: List[DeliveryTap] = []
 
         for host_id in host_ids:
-            if host_id in self.nics:
-                raise NetworkError(f"duplicate host id {host_id!r}")
-            nic = NIC(sim, host_id, rate=self.link.rate)
-            nic.attach_link(self.switch.ingress, self.link.latency)
-            self.switch.attach(host_id, self.link, nic.receive)
-            transport = Transport(
-                sim, nic, segment_bytes=segment_bytes,
-                window_segments=window_segments, window_jitter=window_jitter,
-                rto=rto,
-            )
-            self.nics[host_id] = nic
-            self.transports[host_id] = transport
+            self.attach_host(host_id)
+
+    def attach_host(self, host_id: str) -> Transport:
+        """Wire a (possibly late) host into the star: NIC, switch port,
+        transport.  Delivery taps registered before this call are applied,
+        so telemetry installed at build time also sees hosts attached
+        afterwards (e.g. on failover respawn)."""
+        if host_id in self.nics:
+            raise NetworkError(f"duplicate host id {host_id!r}")
+        nic = NIC(self.sim, host_id, rate=self.link.rate)
+        nic.attach_link(self.switch.ingress, self.link.latency)
+        self.switch.attach(host_id, self.link, nic.receive)
+        transport = Transport(
+            self.sim, nic, segment_bytes=self._segment_bytes,
+            window_segments=self._window_segments,
+            window_jitter=self._window_jitter, rto=self._rto,
+        )
+        for tap in self._delivery_taps:
+            _chain_deliver(transport, tap)
+        self.nics[host_id] = nic
+        self.transports[host_id] = transport
+        return transport
+
+    def add_delivery_tap(self, tap: DeliveryTap) -> None:
+        """Call ``tap(msg)`` for every message any transport delivers —
+        including transports created by later :meth:`attach_host` calls."""
+        self._delivery_taps.append(tap)
+        for transport in self.transports.values():
+            _chain_deliver(transport, tap)
 
     def _notify_sender_of_drop(self, seg) -> None:
         """Route a switch drop back to the sending host's transport (the

@@ -217,6 +217,10 @@ class Transport:
         after ``rto`` seconds and the flow's congestion window halves.
         """
         self.segments_lost += 1
+        if self.sim.metrics.enabled:
+            self.sim.metrics.counter(
+                "transport_segments_lost", host=self.nic.host_id
+            ).inc()
         state = self._send_states.get(seg.flow)
         if state is not None:
             state.on_loss()
@@ -236,6 +240,10 @@ class Transport:
 
     def _retransmit(self, seg: Segment) -> None:
         self.segments_retransmitted += 1
+        if self.sim.metrics.enabled:
+            self.sim.metrics.counter(
+                "transport_retransmits", host=self.nic.host_id
+            ).inc()
         state = self._send_states.get(seg.flow)
         if state is None:
             # Flow drained at the sender meanwhile: resurrect it (with a
@@ -269,6 +277,16 @@ class Transport:
         del self._recv_states[msg.msg_id]
         msg.delivered_at = self.sim.now
         self.messages_delivered += 1
+        if self.sim.metrics.enabled:
+            metrics = self.sim.metrics
+            metrics.counter(
+                "transport_messages_delivered", host=self.nic.host_id
+            ).inc()
+            # Sender-stamped-to-delivered latency: the message-level RTT
+            # stand-in (the transport does not simulate per-segment ACKs).
+            metrics.histogram(
+                "transport_msg_latency_seconds", host=self.nic.host_id
+            ).observe(self.sim.now - msg.created_at)
         if self.sim.trace.enabled:
             self.sim.trace.record(
                 "msg_recv", flow=str(msg.flow), msg=msg.msg_id,

@@ -22,6 +22,7 @@ from repro.net.link import Link
 from repro.net.nic import NIC
 from repro.net.packet import Segment
 from repro.net.switch import OutputPort
+from repro.net.topology import DeliveryTap, _chain_deliver
 from repro.net.transport import (
     DEFAULT_SEGMENT_BYTES,
     DEFAULT_WINDOW_SEGMENTS,
@@ -136,6 +137,7 @@ class TwoTierNetwork:
         self.link = link if link is not None else Link(rate=1.25e9)
         self.nics: Dict[str, NIC] = {}
         self.transports: Dict[str, Transport] = {}
+        self._delivery_taps: List[DeliveryTap] = []
         self.leaves: List[LeafSwitch] = []
         self.spine = SpineSwitch(sim)
         self.leaf_of_host: Dict[str, str] = {}
@@ -178,6 +180,13 @@ class TwoTierNetwork:
                 leaf.name, leaf.uplink_link, leaf.ingress, hosts,
                 buffer_bytes, drop_to_sender,
             )
+
+    def add_delivery_tap(self, tap: DeliveryTap) -> None:
+        """Call ``tap(msg)`` for every message any transport delivers
+        (same contract as :meth:`StarNetwork.add_delivery_tap`)."""
+        self._delivery_taps.append(tap)
+        for transport in self.transports.values():
+            _chain_deliver(transport, tap)
 
     def nic(self, host_id: str) -> NIC:
         try:

@@ -10,6 +10,7 @@ from repro.sim.events import PRIORITY_NORMAL, Event, EventQueue
 from repro.sim.process import Process, ProcessGen
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import Tracer
+from repro.telemetry.metrics import MetricsRegistry
 
 
 class Simulator:
@@ -21,7 +22,9 @@ class Simulator:
     * the event queue,
     * the process table,
     * deterministic random streams (:attr:`rng`),
-    * an optional :class:`~repro.sim.trace.Tracer`.
+    * an optional :class:`~repro.sim.trace.Tracer`,
+    * a :class:`~repro.telemetry.metrics.MetricsRegistry` (disabled by
+      default; instrumented components guard on ``sim.metrics.enabled``).
 
     Typical usage::
 
@@ -36,6 +39,8 @@ class Simulator:
         self.rng = RandomStreams(seed)
         self.trace = Tracer(enabled=trace)
         self.trace.bind_clock(lambda: self.now)
+        self.metrics = MetricsRegistry()
+        self.metrics.bind_clock(lambda: self.now)
         self.processes: list[Process] = []
         self._running = False
         self._steps = 0

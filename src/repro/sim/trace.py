@@ -7,6 +7,7 @@ schedule illustration and several tests.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
@@ -45,6 +46,29 @@ class Tracer:
         if self.kinds is not None and kind not in self.kinds:
             return
         self.records.append(TraceRecord(self._now(), kind, fields))
+
+    @contextmanager
+    def span(self, kind: str, **fields: Any) -> Iterator[None]:
+        """Record a ``kind.begin`` / ``kind.end`` pair around a block.
+
+        The end record carries a ``duration`` field (simulated seconds).
+        Kind filtering applies to the *base* kind, so enabling
+        ``kinds={"tc_reconcile"}`` captures both edge records.  A no-op
+        when tracing is disabled.
+        """
+        enabled = self.enabled and (self.kinds is None or kind in self.kinds)
+        if not enabled:
+            yield
+            return
+        start = self._now()
+        self.records.append(TraceRecord(start, kind + ".begin", dict(fields)))
+        try:
+            yield
+        finally:
+            end = self._now()
+            end_fields = dict(fields)
+            end_fields["duration"] = end - start
+            self.records.append(TraceRecord(end, kind + ".end", end_fields))
 
     def of_kind(self, kind: str) -> Iterator[TraceRecord]:
         return (r for r in self.records if r.kind == kind)

@@ -1,0 +1,80 @@
+"""Serialize metrics snapshots to JSONL and CSV, keyed by scenario hash.
+
+Snapshots come from :meth:`MetricsRegistry.snapshot`; the exporter's job
+is purely structural — flatten each snapshot into rows and write them so
+that downstream tooling (pandas, jq, a spreadsheet) can join runs by the
+scenario's content-hash key::
+
+    snapshots = {scenario.key(): result.metrics_snapshot, ...}
+    write_jsonl("metrics.jsonl", snapshots)   # one JSON object per line
+    write_csv("metrics.csv", snapshots)
+
+Row schema (both formats): ``scenario`` (the content-hash key), ``type``
+(``counter`` | ``gauge`` | ``histogram``), ``metric`` (rendered name with
+labels), ``field`` (empty for counters/gauges; ``count``/``sum``/``mean``/
+``min``/``max``/``bucket_le_<bound>`` for histograms), ``value``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, Iterator, List, Mapping
+
+FIELDNAMES = ("scenario", "type", "metric", "field", "value")
+
+
+def snapshot_rows(scenario_key: str, snapshot: Mapping[str, Any]) -> Iterator[Dict[str, Any]]:
+    """Flatten one registry snapshot into export rows."""
+    for metric, value in snapshot.get("counters", {}).items():
+        yield {"scenario": scenario_key, "type": "counter",
+               "metric": metric, "field": "", "value": value}
+    for metric, value in snapshot.get("gauges", {}).items():
+        yield {"scenario": scenario_key, "type": "gauge",
+               "metric": metric, "field": "", "value": value}
+    for metric, hist in snapshot.get("histograms", {}).items():
+        for fieldname in ("count", "sum", "mean", "min", "max"):
+            if fieldname in hist:
+                yield {"scenario": scenario_key, "type": "histogram",
+                       "metric": metric, "field": fieldname,
+                       "value": hist[fieldname]}
+        for bound, count in hist.get("buckets", {}).items():
+            yield {"scenario": scenario_key, "type": "histogram",
+                   "metric": metric, "field": f"bucket_le_{bound}",
+                   "value": count}
+
+
+def rows(snapshots: Mapping[str, Mapping[str, Any]]) -> List[Dict[str, Any]]:
+    """All rows for a ``{scenario_key: snapshot}`` mapping, key-sorted."""
+    out: List[Dict[str, Any]] = []
+    for key in sorted(snapshots):
+        out.extend(snapshot_rows(key, snapshots[key]))
+    return out
+
+
+def to_jsonl(snapshots: Mapping[str, Mapping[str, Any]]) -> str:
+    """One JSON object per row, newline-delimited."""
+    lines = [json.dumps(row, sort_keys=True) for row in rows(snapshots)]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_csv(snapshots: Mapping[str, Mapping[str, Any]]) -> str:
+    """CSV with a fixed header (see :data:`FIELDNAMES`)."""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=FIELDNAMES, lineterminator="\n")
+    writer.writeheader()
+    writer.writerows(rows(snapshots))
+    return buf.getvalue()
+
+
+def write_jsonl(path: str, snapshots: Mapping[str, Mapping[str, Any]]) -> None:
+    """Write :func:`to_jsonl` output to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(to_jsonl(snapshots))
+
+
+def write_csv(path: str, snapshots: Mapping[str, Mapping[str, Any]]) -> None:
+    """Write :func:`to_csv` output to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(to_csv(snapshots))

@@ -55,6 +55,14 @@ class FlowCollector:
     @classmethod
     def install(cls, network: "StarNetwork") -> "FlowCollector":
         collector = cls()
+        add_tap = getattr(network, "add_delivery_tap", None)
+        if add_tap is not None:
+            # Registering through the network covers transports created
+            # *after* install() too (e.g. hosts attached on failover
+            # respawn) — per-transport chaining would silently miss them.
+            add_tap(collector.record)
+            return collector
+        # Duck-typed networks without the hook: tap what exists now.
         for transport in network.transports.values():
             prev = transport.on_deliver
             if prev is None:

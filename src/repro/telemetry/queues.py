@@ -34,22 +34,28 @@ class QueueDepthSampler:
         self.depth = SampleSeries()    # segments queued
         self.backlog = SampleSeries()  # bytes queued
         self._running = False
+        self._epoch = 0
 
     def start(self) -> None:
         """Begin sampling (idempotent)."""
         if self._running:
             return
         self._running = True
-        self.host.sim.spawn(self._loop(), name=f"qdepth/{self.host.host_id}")
+        # Same restart hazard as HostSampler: a stopped loop parked on
+        # its Timeout must not resume next to the replacement loop.
+        self._epoch += 1
+        self.host.sim.spawn(
+            self._loop(self._epoch), name=f"qdepth/{self.host.host_id}"
+        )
 
     def stop(self) -> None:
         self._running = False
 
-    def _loop(self):
+    def _loop(self, epoch: int):
         sim = self.host.sim
-        while self._running:
+        while self._running and epoch == self._epoch:
             yield Timeout(self.interval)
-            if not self._running:
+            if not self._running or epoch != self._epoch:
                 return
             nic = self.host.nic
             self.depth.add(sim.now, float(len(nic.qdisc)))

@@ -61,24 +61,31 @@ class HostSampler:
         self._prev_rx = 0
         self._prev_tx = 0
         self._running = False
+        self._epoch = 0
 
     def start(self) -> None:
         """Begin sampling (idempotent)."""
         if self._running:
             return
         self._running = True
-        self.host.sim.spawn(self._loop(), name=f"sampler/{self.host.host_id}")
+        # A stopped loop may still be parked on its Timeout; bumping the
+        # epoch makes it exit on wake instead of resuming alongside the
+        # new loop and double-recording every interval.
+        self._epoch += 1
+        self.host.sim.spawn(
+            self._loop(self._epoch), name=f"sampler/{self.host.host_id}"
+        )
 
     def stop(self) -> None:
         self._running = False
 
-    def _loop(self):
+    def _loop(self, epoch: int):
         sim = self.host.sim
         # Anchor the first interval at the current time.
         self._snapshot_counters()
-        while self._running:
+        while self._running and epoch == self._epoch:
             yield Timeout(self.interval)
-            if not self._running:
+            if not self._running or epoch != self._epoch:
                 return
             self._record(sim.now)
 

@@ -168,6 +168,7 @@ class TensorLights:
             self.reconfigurations += 1
         ranked = self.policy.rank(state.apps, self.cluster.sim.rng)
         bands = band_assignment(n, self.max_bands)
+        metrics = self.cluster.sim.metrics
         for rank, app in enumerate(ranked):
             rotated_rank = (rank + state.rotation) % n
             for lo, hi in state.ranges[app.spec.job_id]:
@@ -176,6 +177,10 @@ class TensorLights:
                 else:
                     state.tc.set_range_band(lo, hi, bands[rotated_rank])
                 self.reconfigurations += 1
+                if metrics.enabled:
+                    metrics.counter(
+                        "tl_band_reassignments", host=state.host_id
+                    ).inc()
 
     # -- fault awareness & reconciliation --------------------------------------
 
@@ -225,6 +230,9 @@ class TensorLights:
             if needs_tc != state.tc.installed:
                 self._reconfigure(state)
                 touched += 1
+        metrics = self.cluster.sim.metrics
+        if metrics.enabled and touched:
+            metrics.counter("tl_reconcile_actions").inc(touched)
         return touched
 
     def start_reconciler(self, interval: float) -> None:

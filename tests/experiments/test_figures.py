@@ -84,6 +84,33 @@ def test_table2_normalized_utilization():
     assert "Table II" in result.render()
 
 
+def test_utilization_report_tiny():
+    from repro.experiments.figures import utilization
+
+    result = utilization.generate(TINY.replace(sample_interval=0.05))
+    # self-normalization sanity, and every row computable at tiny scale
+    assert result.normalized(Policy.FIFO, "net_out", "all") == pytest.approx(1.0)
+    for _, series, kind, _ in utilization.ROWS:
+        assert result.utilization(Policy.FIFO, series, kind) >= 0.0
+        assert result.normalized(Policy.TLS_ONE, series, kind) > 0.0
+        assert result.normalized(Policy.TLS_RR, series, kind) > 0.0
+    text = result.render()
+    assert "Result #3" in text and "direction" in text
+    assert result.snapshots == {}  # not collected by default
+
+
+def test_utilization_collect_metrics_keys_snapshots_by_scenario():
+    from repro.experiments.figures import utilization
+
+    result = utilization.generate(
+        TINY.replace(sample_interval=0.05), collect_metrics=True
+    )
+    assert len(result.snapshots) == 3  # one per policy, distinct hashes
+    for snap in result.snapshots.values():
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert snap["counters"]  # the hot paths actually reported
+
+
 def test_fct_tails_generator():
     from repro.experiments.figures import fct
 

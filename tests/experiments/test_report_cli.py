@@ -156,6 +156,25 @@ def test_cli_table2(capsys):
     assert "Table II" in capsys.readouterr().out
 
 
+def test_cli_utilization(tmp_path, capsys):
+    out = tmp_path / "metrics.jsonl"
+    code = main([
+        "utilization", *TINY_ARGS, "--sample-interval", "0.05", "--quick",
+        "--export-metrics", str(out),
+    ])
+    # exit code is the direction check; at tiny scale it may go either way
+    assert code in (0, 1)
+    text = capsys.readouterr().out
+    assert "Result #3" in text
+    assert "direction" in text
+    import json
+
+    lines = out.read_text().splitlines()
+    assert lines
+    scenarios = {json.loads(line)["scenario"] for line in lines}
+    assert len(scenarios) == 3  # one snapshot per policy
+
+
 def test_cli_run_drr_policy(capsys):
     assert main(["run", *TINY_ARGS, "--policy", "drr"]) == 0
     assert "avg JCT" in capsys.readouterr().out

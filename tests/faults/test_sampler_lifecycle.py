@@ -1,0 +1,56 @@
+"""Samplers must never keep a doomed simulation alive.
+
+Host samplers loop until stopped; the runtime stops them when the last
+application reaches a *terminal* state.  Jobs that end without finishing
+— a permanently crashed PS, a proceed-mode job that abandons after every
+worker dies — never fire ``done``, so the stop hook must key off the
+``terminal`` signal or the event queue never drains and ``sim.run()``
+spins forever.
+"""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.experiments import ExperimentConfig, Scenario
+from repro.experiments.runtime import execute_scenario, materialize
+from repro.faults import FaultPlan, HostCrash, PSCrash, RecoverySpec
+
+MICRO = ExperimentConfig.tiny(n_jobs=2, n_workers=2, iterations=3,
+                              sample_hosts=True)
+
+
+@pytest.mark.timeout(60)
+def test_permanent_ps_crash_drains_with_samplers_running():
+    """An unrecoverable PS must still let the event queue drain."""
+    plan = FaultPlan(faults=(PSCrash(job="job00", at=0.2),))
+    with pytest.raises(FaultError, match="did not survive"):
+        execute_scenario(Scenario(config=MICRO, faults=plan))
+
+
+@pytest.mark.timeout(60)
+def test_abandoned_job_fires_terminal_and_stops_samplers():
+    """proceed-with-survivors, all workers dead: the PS abandons.
+
+    The abandon path returns without firing ``done``; ``terminal`` must
+    fire instead so the sampler stop hook runs.  Sampled series must end
+    (not grow forever), and the run surfaces as a FaultError.
+    """
+    # Kill every worker host permanently; keep the PS host up.  Placement
+    # is deterministic in the config, so probe it on a clean materialize.
+    cfg = MICRO.replace(n_jobs=1)
+    probe = materialize(Scenario(config=cfg))
+    worker_hosts = [ep.host_id for ep in probe.apps[0].worker_endpoints]
+    plan = FaultPlan(
+        faults=tuple(HostCrash(host=h, at=0.1) for h in worker_hosts),
+        recovery=RecoverySpec(barrier_mode="proceed", barrier_timeout=0.2,
+                              barrier_grace=1, max_retries=2),
+    )
+    runtime = materialize(Scenario(config=cfg, faults=plan))
+    with pytest.raises(FaultError, match="did not survive"):
+        runtime.run()
+    assert runtime.apps[0].terminal.fired
+    assert not runtime.apps[0].done.fired
+    # samplers were stopped: running the drained sim adds no samples
+    lengths = [len(s.cpu) for s in runtime.samplers.values()]
+    runtime.sim.run(until=runtime.sim.now + 50.0)
+    assert [len(s.cpu) for s in runtime.samplers.values()] == lengths

@@ -104,3 +104,32 @@ def test_tracer_clear():
     t.record("k")
     t.clear()
     assert len(t) == 0
+
+
+def test_tracer_span_emits_begin_end_with_duration():
+    sim = Simulator(trace=True)
+
+    def proc():
+        with sim.trace.span("phase", job="j1"):
+            from repro.sim.process import Timeout
+
+            yield Timeout(2.0)
+
+    sim.spawn(proc())
+    sim.run()
+    begin, end = sim.trace.records
+    assert begin.kind == "phase.begin" and begin.time == 0.0
+    assert end.kind == "phase.end" and end.time == 2.0
+    assert end.duration == 2.0
+    assert end.job == "j1"
+
+
+def test_tracer_span_disabled_or_filtered_is_noop():
+    t = Tracer(enabled=False)
+    with t.span("phase"):
+        pass
+    assert len(t) == 0
+    t = Tracer(enabled=True, kinds={"other"})
+    with t.span("phase"):
+        pass
+    assert len(t) == 0

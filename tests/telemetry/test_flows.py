@@ -80,6 +80,51 @@ def test_by_job_partitions():
     assert by["a"].size == 2
 
 
+def test_install_taps_hosts_attached_later():
+    """The collector must see transports created *after* install.
+
+    Per-transport ``on_deliver`` chaining only covers the transports that
+    exist at install time; the network-level delivery tap also applies to
+    hosts attached afterwards (the failover-respawn shape).
+    """
+    sim = Simulator()
+    net = StarNetwork(sim, ["a", "b"], link=Link(rate=1000.0, latency=0.0))
+    collector = FlowCollector.install(net)
+    net.attach_host("c")  # late arrival, after install
+    got = []
+    net.transport("c").listen(6000, got.append)
+    net.transport("a").send_message(
+        Message(flow=FlowKey("a", 1, "c", 6000), size=500, kind="data")
+    )
+    sim.run()
+    assert len(got) == 1
+    assert len(collector) == 1
+    assert collector.records[0].kind == "data"
+
+
+def test_collector_sees_traffic_across_a_ps_crash():
+    """Flows delivered after a PS crash/recovery still hit the collector."""
+    from repro.experiments import ExperimentConfig, Scenario
+    from repro.experiments.runtime import materialize
+    from repro.faults import FaultPlan, PSCrash
+
+    cfg = ExperimentConfig.tiny(n_jobs=2, n_workers=2, iterations=3)
+    plan = FaultPlan(
+        faults=(PSCrash(job="job00", at=0.2, recover_after=0.2),),
+    )
+    collectors = []
+    runtime = materialize(
+        Scenario(config=cfg, faults=plan),
+        on_cluster=lambda c: collectors.append(FlowCollector.install(c.network)),
+    )
+    result = runtime.run()
+    [collector] = collectors
+    # updates flowed both before the crash and after the restart
+    assert result.fault_events
+    assert collector.fcts("model_update", job="job00").size > 0
+    assert collector.fcts("gradient_update", job="job00").size > 0
+
+
 # ---------------------------------------------------------------- queues
 
 

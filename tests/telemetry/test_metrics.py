@@ -1,0 +1,156 @@
+"""Tests for the simulation-wide metrics registry (sim.metrics)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import ExperimentConfig, Policy, Scenario
+from repro.experiments.runtime import execute_scenario, materialize
+from repro.sim import Simulator
+from repro.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+
+MICRO = ExperimentConfig.tiny(n_jobs=2, n_workers=2, iterations=3)
+
+
+# ---------------------------------------------------------------- instruments
+
+
+def test_counter_increments_and_rejects_decrease():
+    c = Counter("n", ())
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ConfigError):
+        c.inc(-1.0)
+
+
+def test_gauge_set_inc_dec():
+    g = Gauge("g", ())
+    g.set(5.0)
+    g.inc(2.0)
+    g.dec()
+    assert g.value == 6.0
+
+
+def test_histogram_observe_and_snapshot_dict():
+    h = Histogram("h", (), buckets=(1.0, 10.0))
+    for v in (0.5, 5.0, 50.0):
+        h.observe(v)
+    assert h.count == 3
+    assert h.mean == pytest.approx(55.5 / 3)
+    d = h.to_dict()
+    assert d["min"] == 0.5 and d["max"] == 50.0
+    # buckets are cumulative upper bounds; everything lands in +Inf
+    assert d["buckets"] == {"1": 1, "10": 2, "+Inf": 3}
+
+
+def test_histogram_rejects_unsorted_buckets():
+    with pytest.raises(ConfigError):
+        Histogram("h", (), buckets=(10.0, 1.0))
+    with pytest.raises(ConfigError):
+        Histogram("h", (), buckets=(1.0, 1.0))
+
+
+def test_empty_histogram_mean_is_zero():
+    h = Histogram("h", ())
+    assert h.mean == 0.0
+    assert "min" not in h.to_dict()
+
+
+# ---------------------------------------------------------------- registry
+
+
+def test_registry_get_or_create_identity():
+    reg = MetricsRegistry(enabled=True)
+    a = reg.counter("tx", host="h00")
+    b = reg.counter("tx", host="h00")
+    c = reg.counter("tx", host="h01")
+    assert a is b
+    assert a is not c
+    assert len(reg) == 2
+
+
+def test_registry_type_conflict_raises():
+    reg = MetricsRegistry(enabled=True)
+    reg.counter("tx")
+    with pytest.raises(ConfigError, match="already registered"):
+        reg.gauge("tx")
+
+
+def test_snapshot_schema_and_label_rendering():
+    reg = MetricsRegistry(enabled=True)
+    reg.counter("drops", host="h00", band="2").inc(3)
+    reg.gauge("depth").set(7.0)
+    reg.histogram("lat", buckets=(1.0,)).observe(0.5)
+    snap = reg.snapshot()
+    assert set(snap) == {"counters", "gauges", "histograms"}
+    # labels render sorted by key: band before host
+    assert snap["counters"] == {"drops{band=2,host=h00}": 3.0}
+    assert snap["gauges"] == {"depth": 7.0}
+    assert snap["histograms"]["lat"]["count"] == 1
+
+
+def test_clear_resets_types_too():
+    reg = MetricsRegistry(enabled=True)
+    reg.counter("x")
+    reg.clear()
+    assert len(reg) == 0
+    reg.gauge("x")  # no stale type registration
+
+
+def test_span_observes_simulated_duration():
+    reg = MetricsRegistry(enabled=True)
+    clock = [0.0]
+    reg.bind_clock(lambda: clock[0])
+    with reg.span("op_seconds", stage="setup"):
+        clock[0] = 2.5
+    h = reg.histogram("op_seconds", stage="setup")
+    assert h.count == 1
+    assert h.sum == pytest.approx(2.5)
+
+
+def test_span_disabled_is_a_noop():
+    reg = MetricsRegistry()
+    with reg.span("op_seconds"):
+        pass
+    assert len(reg) == 0
+
+
+def test_simulator_owns_a_disabled_registry():
+    sim = Simulator()
+    assert isinstance(sim.metrics, MetricsRegistry)
+    assert not sim.metrics.enabled
+
+
+# ---------------------------------------------------------------- integration
+
+
+def test_materialize_with_metrics_collects_a_snapshot():
+    cfg = MICRO.replace(policy=Policy.TLS_ONE)
+    result = materialize(Scenario(config=cfg), metrics=True).run()
+    snap = result.metrics_snapshot
+    assert set(snap) == {"counters", "gauges", "histograms"}
+    counters, gauges, hists = (
+        snap["counters"], snap["gauges"], snap["histograms"]
+    )
+    # NIC hot-path counters, scraped cumulative gauges, DL barrier spans,
+    # and the TensorLights controller all reported in.
+    assert any(k.startswith("nic_tx_bytes{") for k in counters)
+    assert any(k.startswith("transport_messages_delivered{") for k in counters)
+    assert any(k.startswith("nic_bytes_tx_total{") for k in gauges)
+    assert any(k.startswith("dl_barrier_wait_seconds{") for k in hists)
+    assert gauges.get("tl_reconfigurations_total", 0) >= 0
+
+
+def test_metrics_do_not_change_the_simulated_result():
+    """The invariant behind materialize(metrics=True): pure observation.
+
+    Content hashes must be identical with the registry on or off — the
+    snapshot lives outside the serialized schema.
+    """
+    from repro.experiments.export import result_content_hash
+
+    plain = execute_scenario(Scenario(config=MICRO))
+    observed = materialize(Scenario(config=MICRO), metrics=True).run()
+    assert result_content_hash(plain) == result_content_hash(observed)
+    assert plain.metrics_snapshot == {}
+    assert observed.metrics_snapshot  # non-empty, but hash-invisible

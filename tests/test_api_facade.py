@@ -42,6 +42,10 @@ def test_facade_covers_the_experiment_pipeline():
         "ExperimentResult",
         "execute_scenario",
         "scenario_grid",
+        "MetricsRegistry",
+        "ActiveWindow",
+        "window_mean",
+        "scrape_cluster",
     ):
         assert name in api.__all__, name
 
