@@ -1,9 +1,16 @@
-"""Ablations A1-A7 (DESIGN.md): design choices and paper-§VII what-ifs."""
+"""Ablations A1-A10 plus the declarative study engine timings.
+
+The A-tables come from :mod:`repro.experiments.study.ablations` (the
+legacy ``repro.experiments.ablations`` names are deprecation shims onto
+the same code); the trailing benchmarks time the study engine itself —
+grid generation from the component registry, and the ranked
+component-impact study end to end through one campaign.
+"""
 
 import numpy as np
 from conftest import run_once
 
-from repro.experiments import ablations
+from repro.experiments.study import ablations
 
 
 def test_a1_priority_band_budget(benchmark, bench_config, bench_campaign):
@@ -108,3 +115,43 @@ def test_a10_adaptive_matches_static(benchmark, bench_config):
     static_gain = 1.0 - by_kind["static"][2]
     adaptive_gain = 1.0 - by_kind["adaptive"][2]
     assert adaptive_gain > 0.5 * static_gain
+
+
+def test_study_grid_generation(benchmark, bench_config):
+    """Time pure grid expansion (no simulation): spec -> content keys."""
+    from repro.experiments.study import StudySpec, get_component
+
+    def expand():
+        spec = StudySpec(
+            name="bench-grid",
+            base=bench_config,
+            axes=(get_component("bands").axis(),
+                  get_component("rotation").axis(),
+                  get_component("window_jitter").axis()),
+            seeds=(1, 2, 3),
+        )
+        return spec.keys()
+
+    keys = benchmark(expand)
+    assert len(keys) == 5 * 4 * 3 * 3
+    assert len(set(keys)) == len(keys)  # every point distinct
+
+
+def test_study_impact_ranked(benchmark, bench_config, bench_campaign):
+    """Time the ranked component-impact study end to end (one campaign)."""
+    from repro.experiments.study import run_study
+
+    cfg = bench_config.replace(iterations=max(6, bench_config.iterations // 3))
+    report = run_once(benchmark, lambda: run_study(
+        cfg,
+        components=("bands", "rotation", "slow_start"),
+        seeds=(cfg.seed, cfg.seed + 1),
+        campaign=bench_campaign,
+    ))
+    print()
+    print(report.render())
+    assert {i.component for i in report.impacts} == {
+        "bands", "rotation", "slow_start",
+    }
+    for impact in report.impacts:
+        assert impact.jct_vs_default.low <= impact.jct_vs_default.high

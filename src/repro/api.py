@@ -28,6 +28,11 @@ from repro.experiments.campaign import (
     SerialExecutor,
 )
 from repro.experiments.config import Architecture, ExperimentConfig, Policy
+from repro.experiments.hooks import (
+    BuildHook,
+    get_build_hook,
+    register_build_hook,
+)
 from repro.experiments.runtime import (
     ExperimentResult,
     HostSamples,
@@ -36,6 +41,15 @@ from repro.experiments.runtime import (
     materialize,
 )
 from repro.experiments.scenario import Scenario, scenario_grid
+from repro.experiments.study import (
+    Axis,
+    Component,
+    ImpactReport,
+    StudySpec,
+    get_component,
+    register_component,
+    run_study,
+)
 from repro.experiments.workloads import WorkloadSpec
 from repro.faults.plan import FaultPlan
 from repro.telemetry import (
@@ -48,15 +62,19 @@ from repro.telemetry import (
 __all__ = [
     "ActiveWindow",
     "Architecture",
+    "Axis",
+    "BuildHook",
     "Campaign",
     "CampaignEvent",
     "CampaignFailure",
     "CampaignResult",
+    "Component",
     "ExecutionOutcome",
     "ExperimentConfig",
     "ExperimentResult",
     "FaultPlan",
     "HostSamples",
+    "ImpactReport",
     "MetricsRegistry",
     "ParallelExecutor",
     "Policy",
@@ -64,9 +82,15 @@ __all__ = [
     "Runtime",
     "Scenario",
     "SerialExecutor",
+    "StudySpec",
     "WorkloadSpec",
     "execute_scenario",
+    "get_build_hook",
+    "get_component",
     "materialize",
+    "register_build_hook",
+    "register_component",
+    "run_study",
     "scenario_grid",
     "scrape_cluster",
     "window_mean",

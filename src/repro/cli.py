@@ -222,6 +222,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "snapshot per scenario to PATH (CSV if PATH ends "
                         "with .csv, JSONL otherwise)")
 
+    p = sub.add_parser(
+        "ablate",
+        help="ranked component-impact study: knock each registered "
+             "mechanism out of TLs-RR, one campaign, bootstrap CIs",
+    )
+    _add_common(p)
+    _add_campaign(p)
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke scale: tiny config, two components, "
+                        "two seeds")
+    p.add_argument("--components", nargs="+", default=None, metavar="NAME",
+                   help="restrict to these registered components "
+                        "(default: every one; see docs/ablations.md)")
+    p.add_argument("--seeds", type=int, nargs="+", default=None,
+                   help="seed sweep (needs >= 2 for the bootstrap; "
+                        "default: three consecutive seeds)")
+    p.add_argument("--csv", type=str, default=None, metavar="PATH",
+                   help="also write the impact table as CSV to PATH")
+
     p = sub.add_parser("run", help="run one raw experiment")
     _add_common(p)
     _add_campaign(p)
@@ -292,6 +311,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"wrote metrics snapshots to {args.export_metrics}")
         # The exit code IS the reproduction check (paper Result #3).
         return 0 if report.direction_ok() else 1
+
+    if args.command == "ablate":
+        from repro.experiments.figures import impact
+
+        report = impact.generate(
+            base=None if args.quick else cfg,
+            quick=args.quick,
+            components=args.components,
+            seeds=tuple(args.seeds) if args.seeds else None,
+            campaign=_campaign(args),
+        )
+        print(report.render())
+        print(f"({report.executed} executed, {report.cache_hits} cached, "
+              f"{report.wall_seconds:.1f}s)")
+        if args.csv:
+            with open(args.csv, "w") as fh:
+                fh.write(report.to_csv())
+            print(f"wrote impact table to {args.csv}")
+        return 0
 
     if args.command == "run":
         cfg = cfg.replace(placement_index=args.placement,

@@ -8,7 +8,11 @@ The pipeline is layered (see ``docs/architecture.md``, "Campaign layer"):
   ``Simulator``/``Cluster``/``DLApplication`` stack and collects a
   serializable :class:`ExperimentResult`;
 * :mod:`repro.experiments.campaign` — executes scenario lists through
-  pluggable serial/parallel executors with an on-disk result cache.
+  pluggable serial/parallel executors with an on-disk result cache;
+* :mod:`repro.experiments.study` — the declarative layer above: a
+  component registry (every tunable mechanism declared once, config
+  field or build hook), grid/OAT expansion into content-hashable
+  scenarios, and the ranked component-impact study.
 
 Every table and figure in the paper's evaluation has a generator module
 under :mod:`repro.experiments.figures` and a benchmark under

@@ -122,6 +122,9 @@ def to_csv(results: Iterable[ExperimentResult]) -> str:
 
 #: Schema of the lossless result serialization used by the campaign cache.
 #: 2: added ``fault_events`` (read back with a default for old entries).
+#:    ``tc_reconfigurations`` was added the same additive way (default 0 on
+#:    read, excluded from the content hash), so 2 reads entries with or
+#:    without it and pinned golden hashes stay valid.
 FULL_SCHEMA_VERSION = 2
 
 
@@ -194,6 +197,7 @@ def result_to_full_dict(result: ExperimentResult) -> Dict[str, Any]:
         "tc_commands": list(result.tc_commands),
         "host_ids": list(result.host_ids),
         "fault_events": list(result.fault_events),
+        "tc_reconfigurations": result.tc_reconfigurations,
     }
 
 
@@ -207,6 +211,9 @@ def result_content_hash(result: ExperimentResult) -> str:
     """
     payload = result_to_full_dict(result)
     payload.pop("wall_seconds", None)
+    # Also control-plane observability, not a simulated measurement: the
+    # hash predates the counter and pinned golden hashes must stay valid.
+    payload.pop("tc_reconfigurations", None)
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -238,6 +245,7 @@ def result_from_full_dict(data: Mapping[str, Any]) -> ExperimentResult:
         tc_commands=list(data["tc_commands"]),
         host_ids=list(data["host_ids"]),
         fault_events=list(data.get("fault_events", [])),
+        tc_reconfigurations=int(data.get("tc_reconfigurations", 0)),
     )
 
 

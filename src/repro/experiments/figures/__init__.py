@@ -15,6 +15,7 @@ from repro.experiments.figures import (  # noqa: F401
     fig5a,
     fig5b,
     fig6,
+    impact,
     robustness,
     table1,
     table2,
@@ -22,4 +23,5 @@ from repro.experiments.figures import (  # noqa: F401
 )
 
 __all__ = ["collectives", "fct", "fig1", "fig2", "fig3", "fig4", "fig5a",
-           "fig5b", "fig6", "robustness", "table1", "table2", "utilization"]
+           "fig5b", "fig6", "impact", "robustness", "table1", "table2",
+           "utilization"]

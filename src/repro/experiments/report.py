@@ -1,7 +1,17 @@
-"""Plain-text rendering of experiment results (tables and CDF sketches)."""
+"""Plain-text rendering of experiment results (tables and CDF sketches).
+
+:func:`format_cell` is the single formatting rule for every tabular
+artifact — :meth:`TextTable.render` and :meth:`TextTable.to_csv` both
+read the same pre-formatted rows, so a report's text table, its CSV
+export, and anything built on top (figures, the CLI) cannot disagree on
+headers or rounding.
+"""
 
 from __future__ import annotations
 
+import csv
+import enum
+import io
 from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -9,8 +19,21 @@ import numpy as np
 from repro.analysis.stats import Cdf
 
 
+def format_cell(value) -> str:
+    """The canonical cell formatting: floats at 4 significant digits.
+
+    Enum-valued cells render as their ``.value`` (``Policy.FIFO`` →
+    ``"fifo"``), matching how scenario tags are stringified.
+    """
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, enum.Enum):
+        return str(value.value)
+    return str(value)
+
+
 class TextTable:
-    """A minimal aligned-column table renderer."""
+    """A minimal aligned-column table renderer with a matching CSV view."""
 
     def __init__(self, headers: Sequence[str], title: Optional[str] = None) -> None:
         self.title = title
@@ -18,10 +41,7 @@ class TextTable:
         self.rows: List[List[str]] = []
 
     def add_row(self, *cells) -> None:
-        row = [
-            f"{c:.4g}" if isinstance(c, float) else str(c)
-            for c in cells
-        ]
+        row = [format_cell(c) for c in cells]
         if len(row) != len(self.headers):
             raise ValueError(
                 f"row has {len(row)} cells, table has {len(self.headers)} columns"
@@ -43,6 +63,19 @@ class TextTable:
         for row in self.rows:
             lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
         return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """The same table as CSV — identical headers and cell formatting.
+
+        Cells are written exactly as :meth:`render` prints them (both read
+        the rows :func:`format_cell` produced), so the CSV artifact can
+        never drift from the rendered report.
+        """
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(self.headers)
+        writer.writerows(self.rows)
+        return buf.getvalue()
 
 
 def render_cdf(samples: Iterable[float], label: str, points: int = 9) -> str:

@@ -12,9 +12,13 @@ process boundaries (the campaign's parallel executor) and round-trip
 through the on-disk result cache.
 
 Custom studies that need mid-build access (extra qdiscs, flow collectors,
-alternative controllers, tracing) use :func:`materialize` directly with
-its hooks instead of re-building clusters by hand — see
-``experiments/figures/fct.py`` and ablation A6 for the idiom.
+alternative controllers, tracing) have two options: the declarative
+build hooks a :class:`~repro.experiments.scenario.Scenario` carries
+(:mod:`repro.experiments.hooks` — picklable, cache-visible, the route
+the study engine uses for A6/A10-style mechanisms), or the in-process
+keyword hooks of :func:`materialize` itself (``on_cluster`` /
+``controller_factory`` — for one-off interactive studies that never
+touch the campaign cache; see ``experiments/figures/fct.py``).
 """
 
 from __future__ import annotations
@@ -35,6 +39,7 @@ from repro.dl.metrics import JobMetrics
 from repro.dl.model_zoo import get_model
 from repro.errors import ConfigError, FaultError
 from repro.experiments.config import Architecture, ExperimentConfig, Policy
+from repro.experiments.hooks import get_build_hook
 from repro.experiments.scenario import Scenario
 from repro.faults import FaultInjector
 from repro.net.link import Link
@@ -79,6 +84,11 @@ class ExperimentResult:
     wall_seconds: float = 0.0
     tc_commands: List[str] = field(default_factory=list)
     host_ids: List[str] = field(default_factory=list)  # cluster's actual ids
+    #: how many tc state changes the controller issued over the run (the
+    #: paper's deployment-cost metric; 0 for uncontrolled runs).  Like
+    #: ``wall_seconds``, this is control-plane observability — it is
+    #: excluded from the result content hash.
+    tc_reconfigurations: int = 0
     #: the fault injector's audit log (empty for fault-free runs)
     fault_events: List[Dict[str, Any]] = field(default_factory=list)
     #: ``sim.metrics.snapshot()`` when the run was materialized with
@@ -216,6 +226,10 @@ class Runtime:
             wall_seconds=time.perf_counter() - self._wall_start,
             tc_commands=tc_commands,
             host_ids=self.cluster.host_ids,
+            tc_reconfigurations=(
+                self.controller.reconfigurations
+                if self.controller is not None else 0
+            ),
             fault_events=(
                 list(self.injector.events) if self.injector is not None else []
             ),
@@ -240,10 +254,11 @@ def materialize(
         on_cluster: called with the freshly built cluster before any
             application exists (install flow collectors, extra qdiscs).
         controller_factory: overrides the policy-derived TensorLights
-            controller (e.g. :class:`AdaptiveTensorLights` in A10); it
-            may return ``None`` for no controller.  In-process hooks are
-            not part of the Scenario identity — scenarios run through the
-            cached/parallel campaign path must not rely on them.
+            controller; it may return ``None`` for no controller.
+            In-process hooks are not part of the Scenario identity —
+            scenarios run through the cached/parallel campaign path must
+            not rely on them; declare a registered build hook on the
+            scenario instead (:mod:`repro.experiments.hooks`).
         metrics: enable the simulation-wide metrics registry
             (``sim.metrics``); :meth:`Runtime.run` then scrapes the
             cluster and stores the snapshot in
@@ -252,6 +267,24 @@ def materialize(
             Scenario identity — it cannot change simulated results.
     """
     config = scenario.config
+
+    # Resolve the scenario's declarative build hooks up front: an unknown
+    # hook name must fail before any simulator state exists, and at most
+    # one controller may be in play (explicit factory argument included).
+    resolved_hooks = [
+        (get_build_hook(name), dict(params)) for name, params in scenario.hooks
+    ]
+    for hook, params in resolved_hooks:
+        if hook.controller is None:
+            continue
+        if controller_factory is not None:
+            raise ConfigError(
+                f"hook {hook.name!r} provides a controller but one is "
+                "already set (another hook or the controller_factory "
+                "argument)"
+            )
+        controller_factory = hook.controller(params)
+
     wall_start = time.perf_counter()
     sim = Simulator(seed=config.seed, trace=trace_kinds is not None)
     if trace_kinds is not None:
@@ -403,7 +436,7 @@ def materialize(
             )
             samplers[hid].start()
 
-    return Runtime(
+    runtime = Runtime(
         scenario=scenario,
         sim=sim,
         cluster=cluster,
@@ -415,6 +448,10 @@ def materialize(
         _wall_start=wall_start,
         injector=injector,
     )
+    for hook, params in resolved_hooks:
+        if hook.post_build is not None:
+            hook.post_build(runtime, params)
+    return runtime
 
 
 def execute_scenario(scenario: Scenario) -> ExperimentResult:

@@ -31,7 +31,18 @@ from repro.faults.plan import FaultPlan, plan_from_dict
 #: previously cached results stale (part of every cache key).
 #: 2: scenarios gained a fault plan and configs gained netem fields.
 #: 3: configs gained the training architecture (PS / all-reduce / mixed).
-SCENARIO_SCHEMA = 3
+#: 4: scenarios gained declarative build hooks (and results a
+#:    ``tc_reconfigurations`` counter).
+SCENARIO_SCHEMA = 4
+
+#: JSON-safe scalar types a build-hook parameter may carry.  Hooks are
+#: part of the scenario content key, so their parameters must serialize
+#: canonically.
+HOOK_PARAM_TYPES = (type(None), bool, int, float, str)
+
+#: One declarative build hook: ``(registered name, ((param, value), ...))``.
+#: See :mod:`repro.experiments.hooks` for the registry the names refer to.
+HookSpec = Tuple[str, Tuple[Tuple[str, Any], ...]]
 
 
 def config_to_dict(config: ExperimentConfig) -> Dict[str, Any]:
@@ -59,6 +70,35 @@ def config_from_dict(data: Mapping[str, Any]) -> ExperimentConfig:
     return ExperimentConfig(**kwargs)
 
 
+def _canonical_hooks(hooks) -> Tuple[HookSpec, ...]:
+    """Normalize a hooks declaration into its canonical hashable form.
+
+    Hook order is preserved (it is execution order); parameters are
+    sorted by name so the same parameters always hash identically, and
+    non-scalar parameter values are rejected up front.
+    """
+    out: List[HookSpec] = []
+    for entry in hooks:
+        try:
+            name, params = entry
+        except (TypeError, ValueError):
+            raise ConfigError(
+                f"hook entries are (name, params) pairs, got {entry!r}"
+            )
+        pairs = []
+        items = params.items() if isinstance(params, Mapping) else params
+        for key, value in items:
+            if not isinstance(value, HOOK_PARAM_TYPES):
+                raise ConfigError(
+                    f"hook {name!r} parameter {key!r} must be a JSON "
+                    f"scalar, got {type(value).__name__}"
+                )
+            pairs.append((str(key), value))
+        pairs.sort(key=lambda kv: kv[0])
+        out.append((str(name), tuple(pairs)))
+    return tuple(out)
+
+
 @dataclass(frozen=True)
 class Scenario:
     """Everything needed to reproduce one experiment run.
@@ -70,6 +110,14 @@ class Scenario:
         faults: optional :class:`~repro.faults.plan.FaultPlan` injected
             into the run.  Part of the content key: a faulted run never
             shares a cache entry with its fault-free twin.
+        hooks: declarative mid-build hooks, ``(name, params)`` pairs
+            naming entries in the :mod:`repro.experiments.hooks` registry
+            (e.g. A6's rate-control qdiscs, A10's adaptive controller).
+            Unlike the in-process ``materialize(...)`` keyword hooks,
+            these are picklable and **part of the content key**, so
+            hooked scenarios run safely through parallel/cached
+            campaigns.  Hooks apply in declaration order; parameters are
+            canonicalized (sorted by name) and must be JSON scalars.
         tags: free-form ``(name, value)`` labels for regrouping campaign
             results (e.g. ``(("placement", "3"), ("policy", "tls-one"))``).
             Tags are bookkeeping only: they do **not** affect execution
@@ -79,9 +127,11 @@ class Scenario:
     config: ExperimentConfig
     placement: Optional[PlacementSpec] = None
     faults: Optional[FaultPlan] = None
+    hooks: Tuple[HookSpec, ...] = ()
     tags: Tuple[Tuple[str, str], ...] = ()
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "hooks", _canonical_hooks(self.hooks))
         if self.placement is not None and self.placement.n_jobs != self.config.n_jobs:
             raise ConfigError(
                 f"placement covers {self.placement.n_jobs} jobs, "
@@ -116,6 +166,20 @@ class Scenario:
         extra = tuple((k, str(v)) for k, v in tags.items())
         return dataclasses.replace(self, tags=self.tags + extra)
 
+    # -- hooks -------------------------------------------------------------
+
+    def with_hook(self, name: str, **params: Any) -> "Scenario":
+        """A copy with one build hook appended (params must be scalars)."""
+        entry = (name, tuple(params.items()))
+        return dataclasses.replace(self, hooks=self.hooks + (entry,))
+
+    def hook_params(self, name: str) -> Optional[Dict[str, Any]]:
+        """The parameters of hook ``name`` as a dict, or ``None`` if absent."""
+        for hook_name, params in self.hooks:
+            if hook_name == name:
+                return dict(params)
+        return None
+
     @property
     def label(self) -> str:
         """A short human-readable identity for progress displays."""
@@ -140,6 +204,9 @@ class Scenario:
             "config": config_to_dict(self.config),
             "placement": list(self.placement.groups) if self.placement else None,
             "faults": self.faults.to_dict() if self.faults else None,
+            "hooks": [
+                [name, [list(p) for p in params]] for name, params in self.hooks
+            ],
             "tags": [list(t) for t in self.tags],
         }
 
@@ -170,6 +237,10 @@ def scenario_from_dict(data: Mapping[str, Any]) -> Scenario:
         config=config_from_dict(data["config"]),
         placement=PlacementSpec(tuple(placement)) if placement else None,
         faults=plan_from_dict(faults) if faults else None,
+        hooks=tuple(
+            (name, tuple((k, v) for k, v in params))
+            for name, params in data.get("hooks", [])
+        ),
         tags=tuple((str(k), str(v)) for k, v in data.get("tags", [])),
     )
 

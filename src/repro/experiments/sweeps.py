@@ -11,13 +11,18 @@ record table — the workhorse behind custom studies::
     )
     print(result.render())
     print(result.to_csv())
+
+The grid itself comes from the declarative study engine: the ``axes``
+mapping becomes a :class:`~repro.experiments.study.spec.StudySpec` over
+raw config-field :class:`~repro.experiments.study.components.Axis`
+dimensions, so sweeps share the same deterministic expansion (and
+content-key discipline) as registered-component studies.  ``render()``
+and ``to_csv()`` read one shared :class:`TextTable`, so the printed table
+and the CSV export can never disagree on headers or formatting.
 """
 
 from __future__ import annotations
 
-import csv
-import io
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -28,7 +33,8 @@ from repro.experiments.campaign import Campaign, CampaignEvent
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import TextTable
 from repro.experiments.runtime import ExperimentResult
-from repro.experiments.scenario import Scenario
+from repro.experiments.study.components import Axis, format_axis_value
+from repro.experiments.study.spec import StudySpec
 
 
 @dataclass(frozen=True)
@@ -42,16 +48,20 @@ class SweepPoint:
     barrier_wait_var_median: float
 
     def override_dict(self) -> Dict[str, Any]:
+        """The overrides as a dict (field name -> value)."""
         return dict(self.overrides)
 
 
 @dataclass
 class SweepResult:
+    """The outcome of one sweep: axes, per-point summaries, raw results."""
+
     axes: Dict[str, Sequence[Any]]
     points: List[SweepPoint]
     results: List[ExperimentResult] = field(repr=False, default_factory=list)
 
     def best(self, key: Callable[[SweepPoint], float] = lambda p: p.avg_jct) -> SweepPoint:
+        """The point minimizing ``key`` (default: average JCT)."""
         return min(self.points, key=key)
 
     def filtered(self, **conditions: Any) -> List[SweepPoint]:
@@ -63,7 +73,7 @@ class SweepResult:
                 out.append(p)
         return out
 
-    def render(self) -> str:
+    def _table(self) -> TextTable:
         axis_names = list(self.axes)
         table = TextTable(
             axis_names + ["Avg JCT (s)", "Makespan (s)", "Barrier wait",
@@ -74,32 +84,24 @@ class SweepResult:
         for p in self.points:
             d = p.override_dict()
             table.add_row(
-                *[_fmt(d[a]) for a in axis_names],
+                *[format_axis_value(d[a]) for a in axis_names],
                 p.avg_jct, p.makespan, p.barrier_wait_mean,
                 p.barrier_wait_var_median,
             )
-        return table.render()
+        return table
+
+    def render(self) -> str:
+        """The aligned plain-text table."""
+        return self._table().render()
 
     def to_csv(self) -> str:
-        axis_names = list(self.axes)
-        buf = io.StringIO()
-        writer = csv.writer(buf)
-        writer.writerow(axis_names + ["avg_jct", "makespan",
-                                      "barrier_wait_mean",
-                                      "barrier_wait_var_median"])
-        for p in self.points:
-            d = p.override_dict()
-            writer.writerow(
-                [_fmt(d[a]) for a in axis_names]
-                + [f"{p.avg_jct:.6f}", f"{p.makespan:.6f}",
-                   f"{p.barrier_wait_mean:.6f}",
-                   f"{p.barrier_wait_var_median:.8f}"]
-            )
-        return buf.getvalue()
+        """The same table as CSV (identical headers and cell formatting)."""
+        return self._table().to_csv()
 
 
 def _fmt(v: Any) -> str:
-    return v.value if hasattr(v, "value") else str(v)
+    """Back-compat alias for :func:`format_axis_value`."""
+    return format_axis_value(v)
 
 
 def sweep(
@@ -121,20 +123,17 @@ def sweep(
     """
     if not axes:
         raise ConfigError("sweep needs at least one axis")
-    for name, values in axes.items():
-        if not values:
-            raise ConfigError(f"axis {name!r} has no values")
-        if not hasattr(base, name):
-            raise ConfigError(f"unknown config field {name!r}")
-    names = list(axes)
-    combos = list(itertools.product(*(axes[n] for n in names)))
-    override_dicts = [dict(zip(names, combo)) for combo in combos]
-    scenarios = [
-        Scenario(config=base.replace(**overrides)).with_tags(
-            **{name: _fmt(value) for name, value in overrides.items()}
-        )
-        for overrides in override_dicts
-    ]
+    spec = StudySpec(
+        name="sweep",
+        base=base,
+        axes=tuple(
+            Axis(name=name, values=tuple(values))
+            for name, values in axes.items()
+        ),
+    )
+    grid = spec.expand()
+    override_dicts = [point.override_dict() for point in grid]
+    scenarios = [point.scenario for point in grid]
 
     camp = campaign if campaign is not None else Campaign()
     if progress is not None:
@@ -142,13 +141,15 @@ def sweep(
 
         def adapter(event: CampaignEvent) -> None:
             if event.status in ("running", "cached"):
-                progress(event.index, len(combos),
-                         override_dicts[event.index])
+                progress(event.index, len(grid), override_dicts[event.index])
             if chained is not None:
                 chained(event)
 
         camp = Campaign(executor=camp.executor, cache=camp.cache,
-                        progress=adapter)
+                        progress=adapter,
+                        scenario_timeout=camp.scenario_timeout,
+                        max_attempts=camp.max_attempts,
+                        on_failure=camp.on_failure)
 
     full = camp.run(scenarios).results
     points: List[SweepPoint] = []

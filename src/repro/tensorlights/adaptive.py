@@ -42,9 +42,11 @@ class AdaptiveTensorLights(TensorLights):
         check_interval: float = 1.0,
         enable_threshold: float = 0.8,
         disable_threshold: float = 0.4,
+        work_conserving: bool = True,
     ) -> None:
         super().__init__(cluster, mode=mode, interval=interval,
-                         max_bands=max_bands, policy=policy)
+                         max_bands=max_bands, policy=policy,
+                         work_conserving=work_conserving)
         if check_interval <= 0:
             raise ConfigError("check_interval must be positive")
         if not 0.0 < disable_threshold < enable_threshold <= 1.0:

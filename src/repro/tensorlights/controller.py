@@ -70,6 +70,9 @@ class TensorLights:
         interval: TLs-RR rotation period ``T`` in seconds (paper: 20 s).
         max_bands: priority bands available (paper: up to 6).
         policy: how contending jobs are ranked (default: arrival order).
+        work_conserving: pass ``False`` to hard-cap every band at its
+            equal share (disables HTB borrowing; the ``htb_borrowing``
+            component knockout).  The paper's configuration is ``True``.
     """
 
     def __init__(
@@ -79,6 +82,7 @@ class TensorLights:
         interval: float = 20.0,
         max_bands: int = DEFAULT_MAX_BANDS,
         policy: Optional[PriorityPolicy] = None,
+        work_conserving: bool = True,
     ) -> None:
         if interval <= 0:
             raise ConfigError(f"rotation interval must be positive, got {interval}")
@@ -88,6 +92,7 @@ class TensorLights:
         self.mode = mode
         self.interval = interval
         self.max_bands = max_bands
+        self.work_conserving = work_conserving
         self.policy: PriorityPolicy = policy if policy is not None else ArrivalOrderPolicy()
         self._hosts: Dict[str, _HostState] = {}
         self._down: Set[str] = set()
@@ -164,7 +169,9 @@ class TensorLights:
                 self.reconfigurations += 1
             return
         if not state.tc.installed:
-            state.tc.install_tensorlights_htb(self.max_bands)
+            state.tc.install_tensorlights_htb(
+                self.max_bands, work_conserving=self.work_conserving
+            )
             self.reconfigurations += 1
         ranked = self.policy.rank(state.apps, self.cluster.sim.rng)
         bands = band_assignment(n, self.max_bands)

@@ -43,13 +43,23 @@ class Tc:
         self._htb: Optional[HTBQdisc] = None
         self._filter: Optional[PortFilter] = None
         self._n_bands = 0
+        self._work_conserving = True
         self._port_to_band: Dict[int, int] = {}
         self._range_to_band: Dict[Tuple[int, int], int] = {}
 
     # -- high-level: the TensorLights configuration ------------------------
 
-    def install_tensorlights_htb(self, n_bands: int) -> None:
-        """Install the paper's HTB shape with ``n_bands`` priority bands."""
+    def install_tensorlights_htb(
+        self, n_bands: int, work_conserving: bool = True
+    ) -> None:
+        """Install the paper's HTB shape with ``n_bands`` priority bands.
+
+        With ``work_conserving=False`` each band class is hard-capped at
+        its equal share (``rate == ceil == link / n_bands``), disabling
+        HTB's borrowing — the knockout used to measure how much of the
+        TensorLights benefit comes from work conservation (an idle
+        high-priority band lending its bandwidth to lower bands).
+        """
         if n_bands < 1:
             raise TcError(f"need >= 1 band, got {n_bands}")
         link = self.nic.rate
@@ -57,16 +67,21 @@ class Tc:
         htb = HTBQdisc(filter=filt, default_classid=BAND_CLASSID_BASE + n_bands - 1)
         htb.add_class(ROOT_CLASSID, rate=link, ceil=link)
         for band in range(n_bands):
+            if work_conserving:
+                rate, ceil = link * GUARANTEED_RATE_FRACTION, link
+            else:
+                rate = ceil = link / n_bands
             htb.add_class(
                 BAND_CLASSID_BASE + band,
-                rate=link * GUARANTEED_RATE_FRACTION,
-                ceil=link,
+                rate=rate,
+                ceil=ceil,
                 prio=band,
                 parent=ROOT_CLASSID,
             )
         self._htb = htb
         self._filter = filt
         self._n_bands = n_bands
+        self._work_conserving = work_conserving
         self._port_to_band = {}
         self._range_to_band = {}
         self.nic.set_qdisc(htb)
@@ -179,11 +194,15 @@ class Tc:
             f"rate {link_bit}bit ceil {link_bit}bit",
         ]
         for band in range(self._n_bands):
-            rate_bit = int(self.nic.rate * GUARANTEED_RATE_FRACTION * 8)
+            if self._work_conserving:
+                rate_bit = int(self.nic.rate * GUARANTEED_RATE_FRACTION * 8)
+                ceil_bit = link_bit
+            else:
+                rate_bit = ceil_bit = int(self.nic.rate / self._n_bands * 8)
             out.append(
                 f"tc class add dev {dev} parent 1:{ROOT_CLASSID} classid "
                 f"1:{BAND_CLASSID_BASE + band} htb rate {rate_bit}bit "
-                f"ceil {link_bit}bit prio {band}"
+                f"ceil {ceil_bit}bit prio {band}"
             )
         for sport, band in sorted(self._port_to_band.items()):
             out.append(

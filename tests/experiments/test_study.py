@@ -1,0 +1,222 @@
+"""Tests for the declarative study engine: registry, grids, impact."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import Campaign, ExperimentConfig, Policy
+from repro.experiments.study import (
+    Axis,
+    Component,
+    StudySpec,
+    all_components,
+    get_component,
+    run_study,
+)
+from repro.experiments.study.spec import merge_hooks
+
+TINY = ExperimentConfig.tiny()
+
+
+# -- component registry -------------------------------------------------------
+
+
+def test_registry_has_the_paper_mechanisms():
+    names = set(all_components())
+    assert {"bands", "rotation", "window_jitter", "slow_start",
+            "htb_borrowing", "adaptive", "rate_control"} <= names
+
+
+def test_get_component_unknown_name():
+    with pytest.raises(ConfigError, match="unknown component"):
+        get_component("flux_capacitor")
+
+
+def test_component_must_drive_exactly_one_target():
+    with pytest.raises(ConfigError, match="exactly one"):
+        Component(name="x", description="d", field="max_bands",
+                  hook="slow_start", hook_param="enabled",
+                  values=(1, 2), default=1, ablated=2)
+    with pytest.raises(ConfigError, match="exactly one"):
+        Component(name="x", description="d", values=(1, 2),
+                  default=1, ablated=2)
+
+
+def test_component_ablated_must_differ_from_default():
+    with pytest.raises(ConfigError, match="must differ"):
+        Component(name="x", description="d", field="max_bands",
+                  values=(1, 2), default=1, ablated=1)
+
+
+def test_field_component_apply_rewrites_config():
+    from repro.experiments.scenario import Scenario
+
+    scn = get_component("bands").apply(Scenario(config=TINY), 3)
+    assert scn.config.max_bands == 3
+    assert scn.hooks == ()
+
+
+def test_hook_component_apply_at_default_is_identity():
+    from repro.experiments.scenario import Scenario
+
+    base = Scenario(config=TINY)
+    slow = get_component("slow_start")
+    assert slow.apply(base, slow.default) is base
+    hooked = slow.apply(base, True)
+    assert hooked.hooks == (("slow_start", (("enabled", True),)),)
+
+
+def test_rate_control_component_forces_its_config_overrides():
+    from repro.experiments.scenario import Scenario
+
+    rc = get_component("rate_control")
+    scn = rc.apply(Scenario(config=TINY.replace(policy=Policy.TLS_RR)), 0.8)
+    assert scn.config.policy == Policy.FIFO
+    assert scn.config.switch_buffer_bytes is None
+    assert scn.hook_params("rate_control") == {"accuracy": 0.8}
+
+
+# -- grid expansion -----------------------------------------------------------
+
+
+def _axes():
+    return (get_component("bands").axis((1, 6)),
+            Axis(name="policy", values=(Policy.FIFO, Policy.TLS_ONE)))
+
+
+def test_grid_expansion_is_deterministic():
+    spec = StudySpec(name="s", base=TINY, axes=_axes())
+    assert spec.keys() == spec.keys()
+    assert spec.size() == 4
+
+
+def test_same_spec_same_keys_across_instances():
+    a = StudySpec(name="s", base=TINY, axes=_axes())
+    b = StudySpec(name="s", base=TINY, axes=_axes())
+    assert a.keys() == b.keys()
+
+
+def test_axis_order_permutes_list_but_not_key_set():
+    fwd = StudySpec(name="s", base=TINY, axes=_axes())
+    rev = StudySpec(name="s", base=TINY, axes=tuple(reversed(_axes())))
+    assert fwd.keys() != rev.keys()  # order differs...
+    assert set(fwd.keys()) == set(rev.keys())  # ...content does not
+
+
+def test_hook_axis_order_independence():
+    # Both components drive the tl_controller hook; merged+sorted params
+    # must make the content keys independent of axis declaration order.
+    axes = (get_component("htb_borrowing").axis(),
+            get_component("adaptive").axis())
+    fwd = StudySpec(name="s", base=TINY, axes=axes)
+    rev = StudySpec(name="s", base=TINY, axes=tuple(reversed(axes)))
+    assert set(fwd.keys()) == set(rev.keys())
+    # The non-default/non-default corner carries one merged hook.
+    corner = [p for p in fwd.expand()
+              if p.override_dict() == {"htb_borrowing": False,
+                                       "adaptive": "adaptive"}]
+    [point] = corner
+    assert point.scenario.hook_params("tl_controller") == {
+        "variant": "adaptive", "work_conserving": False,
+    }
+
+
+def test_oat_design_size_and_baseline():
+    spec = StudySpec(
+        name="s",
+        base=TINY,
+        axes=(get_component("bands").axis((1, 6)),
+              get_component("window_jitter").axis()),
+        design="oat",
+        baseline=TINY.replace(policy=Policy.FIFO),
+    )
+    # per seed: 1 baseline + 1 all-defaults + 1 (bands: 6 is default)
+    #           + 2 (window_jitter: 0.5 is default)
+    points = spec.expand()
+    assert len(points) == 5
+    assert points[0].is_baseline
+    assert ("variant", "baseline") in points[0].scenario.tags
+
+
+def test_seed_sweep_replicates_and_tags():
+    spec = StudySpec(name="s", base=TINY, axes=_axes(), seeds=(7, 8))
+    points = spec.expand()
+    assert len(points) == 8
+    seeds = {dict(p.scenario.tags)["seed"] for p in points}
+    assert seeds == {"7", "8"}
+    assert {p.scenario.config.seed for p in points} == {7, 8}
+
+
+def test_spec_validation_errors():
+    with pytest.raises(ConfigError, match="at least one axis"):
+        StudySpec(name="s", base=TINY, axes=())
+    with pytest.raises(ConfigError, match="design"):
+        StudySpec(name="s", base=TINY, axes=_axes(), design="fancy")
+    with pytest.raises(ConfigError, match="duplicate"):
+        StudySpec(name="s", base=TINY,
+                  axes=(Axis(name="policy", values=(Policy.FIFO,)),
+                        Axis(name="policy", values=(Policy.TLS_ONE,))))
+    with pytest.raises(ConfigError, match="unknown config field"):
+        StudySpec(name="s", base=TINY,
+                  axes=(Axis(name="not_a_field", values=(1,)),))
+    with pytest.raises(ConfigError, match="has no values"):
+        Axis(name="policy", values=())
+
+
+def test_merge_hooks_unions_and_sorts():
+    merged = merge_hooks((
+        ("b_hook", (("x", 1),)),
+        ("a_hook", (("z", 3), ("a", 2))),
+        ("b_hook", (("y", 2), ("x", 1))),
+    ))
+    assert merged == (
+        ("a_hook", (("a", 2), ("z", 3))),
+        ("b_hook", (("x", 1), ("y", 2))),
+    )
+
+
+def test_merge_hooks_conflict_raises():
+    with pytest.raises(ConfigError, match="conflicting"):
+        merge_hooks((("h", (("p", 1),)), ("h", (("p", 2),))))
+
+
+# -- the impact study ---------------------------------------------------------
+
+
+def test_run_study_needs_two_seeds():
+    with pytest.raises(ConfigError, match=">= 2 seeds"):
+        run_study(TINY, components=("bands",), seeds=(42,))
+
+
+def test_run_study_needs_a_component():
+    with pytest.raises(ConfigError, match="at least one component"):
+        run_study(TINY, components=(), seeds=(42, 43))
+
+
+def test_run_study_ranked_impacts_and_tables():
+    report = run_study(
+        TINY,
+        components=("bands", "slow_start"),
+        seeds=(42, 43),
+        campaign=Campaign(),
+    )
+    assert {i.component for i in report.impacts} == {"bands", "slow_start"}
+    ranked = report.ranked()
+    assert ranked == sorted(ranked, key=lambda i: i.magnitude, reverse=True)
+    for impact in report.impacts:
+        ci = impact.jct_vs_default
+        assert ci.low <= ci.estimate <= ci.high
+    text = report.render()
+    assert "Component impact, ranked" in text
+    assert "bands *" in text  # tl_only marker
+    # One shared table path: the CSV carries the same header and rows.
+    csv_lines = report.to_csv().splitlines()
+    assert csv_lines[0].startswith("Component,Knockout,Avg JCT")
+    assert len(csv_lines) == 1 + 1 + len(report.impacts)
+
+
+def test_run_study_is_one_campaign_submission():
+    events = []
+    camp = Campaign(progress=lambda e: events.append(e))
+    run_study(TINY, components=("bands",), seeds=(42, 43), campaign=camp)
+    # 2 seeds x (fifo + tls-default + 1 knockout) = 6 scenarios, one batch.
+    assert {e.total for e in events} == {6}
