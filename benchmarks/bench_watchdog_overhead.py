@@ -1,0 +1,189 @@
+"""Overhead guard for the runtime invariant watchdog (``sim.watchdog``).
+
+The watchdog's contract mirrors the metrics registry's: *zero-cost when
+off* (every hook site guards on ``sim.watchdog.enabled``) and cheap in
+``warn`` mode, where periodic heartbeat sweeps run the registered
+invariant checks over counters the simulation maintains anyway.  The
+acceptance bar is <5% events/sec overhead in warn mode relative to the
+same run with the watchdog off.  This benchmark enforces both, and also
+keeps watchdog-off throughput honest against the checked-in
+``BENCH_simulator.json`` baseline.
+
+Runnable directly — CI does::
+
+    python benchmarks/bench_watchdog_overhead.py --quick \
+        --baseline BENCH_simulator.json --max-regression 0.05
+
+which re-measures the same end-to-end scenarios as
+``bench_simulator_speed`` with the watchdog off (the default code path),
+fails if any is more than ``--max-regression`` below the checked-in
+events/sec baseline or if warn mode costs more than ``--max-overhead``,
+and writes ``BENCH_watchdog.json`` with off and warn numbers plus the
+warn-mode overhead percentage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runtime import materialize
+from repro.experiments.scenario import Scenario
+from repro.sim import Simulator
+
+sys.path.insert(0, ".")  # conftest sibling import under pytest rootdir
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_simulator_speed import _bench_scenarios, check_regression  # noqa: E402
+
+
+def measure(config: ExperimentConfig, repeats: int, watchdog: str | None) -> dict:
+    """Best-of-``repeats`` events/sec with the watchdog off or in a mode."""
+    best_rate = 0.0
+    best_dt = 0.0
+    events = 0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        res = materialize(Scenario(config=config), watchdog=watchdog).run()
+        dt = time.perf_counter() - t0
+        events = res.sim_events
+        rate = events / dt
+        if rate > best_rate:
+            best_rate, best_dt = rate, dt
+    return {
+        "sim_events": events,
+        "best_seconds": round(best_dt, 4),
+        "events_per_sec": round(best_rate),
+    }
+
+
+def run_overhead_suite(quick: bool = False) -> dict:
+    """Measure all scenarios with the watchdog off and in warn mode.
+
+    ``quick`` cuts repeats only — iterations stay at the baseline's 10
+    for the same reason as ``bench_metrics_overhead``: shorter runs
+    amortize less setup per event and would read as a phantom
+    regression against the full-mode ``BENCH_simulator.json``.
+    """
+    iterations = 10
+    repeats = 1 if quick else 3
+    report: dict = {
+        "benchmark": "watchdog_overhead",
+        "mode": "quick" if quick else "full",
+        "iterations": iterations,
+        "best_of": repeats,
+        "scenarios": {},
+    }
+    for name, cfg in _bench_scenarios(iterations).items():
+        off = measure(cfg, repeats, watchdog=None)
+        warn = measure(cfg, repeats, watchdog="warn")
+        overhead = 1.0 - warn["events_per_sec"] / off["events_per_sec"]
+        report["scenarios"][name] = {
+            "off": off,
+            "warn": warn,
+            "warn_overhead_pct": round(100.0 * overhead, 1),
+        }
+    return report
+
+
+def off_view(report: dict) -> dict:
+    """The watchdog-off numbers in ``BENCH_simulator.json`` shape, so
+    :func:`bench_simulator_speed.check_regression` applies directly."""
+    return {
+        "scenarios": {
+            name: entry["off"] for name, entry in report["scenarios"].items()
+        }
+    }
+
+
+def warn_overhead_failures(report: dict, max_overhead: float) -> list[str]:
+    """Scenarios whose warn-mode overhead exceeds ``max_overhead``."""
+    failures = []
+    for name, entry in report["scenarios"].items():
+        pct = entry["warn_overhead_pct"]
+        if pct > 100.0 * max_overhead:
+            failures.append(
+                f"{name}: warn-mode overhead {pct:.1f}% "
+                f"> {100.0 * max_overhead:.0f}% budget"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure watchdog overhead and write BENCH_watchdog.json"
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: fewer repeats")
+    parser.add_argument("--output", default="BENCH_watchdog.json",
+                        help="report path (default: %(default)s)")
+    parser.add_argument("--baseline", default=None,
+                        help="BENCH_simulator.json to compare the watchdog-off "
+                             "numbers against; exit 1 on regression")
+    parser.add_argument("--max-regression", type=float, default=0.05,
+                        help="allowed watchdog-off events/sec drop vs the "
+                             "baseline (default: %(default)s)")
+    parser.add_argument("--max-overhead", type=float, default=0.05,
+                        help="allowed warn-mode events/sec overhead vs "
+                             "watchdog off (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    report = run_overhead_suite(quick=args.quick)
+    for name, entry in report["scenarios"].items():
+        print(f"{name:20s} off {entry['off']['events_per_sec']:>12,} ev/s"
+              f"   warn {entry['warn']['events_per_sec']:>12,} ev/s"
+              f"   overhead {entry['warn_overhead_pct']:>5.1f}%")
+
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    failed = False
+    overhead_failures = warn_overhead_failures(report, args.max_overhead)
+    if overhead_failures:
+        print("WATCHDOG WARN-MODE OVERHEAD OVER BUDGET:")
+        for line in overhead_failures:
+            print(f"  {line}")
+        failed = True
+    else:
+        print(f"warn-mode overhead within {args.max_overhead:.0%} on all "
+              f"scenarios")
+
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        failures = check_regression(off_view(report), baseline,
+                                    args.max_regression)
+        if failures:
+            print("WATCHDOG-OFF THROUGHPUT REGRESSION:")
+            for line in failures:
+                print(f"  {line}")
+            failed = True
+        else:
+            print(f"watchdog-off throughput within {args.max_regression:.0%} "
+                  f"of {args.baseline}")
+    return 1 if failed else 0
+
+
+def test_disabled_guard_is_cheap(benchmark):
+    """1M guarded hook-site checks against a watchdog that is off."""
+    sim = Simulator()
+    watchdog = sim.watchdog
+
+    def run():
+        n = 0
+        for _ in range(1_000_000):
+            if watchdog.enabled:
+                watchdog.report("x", "never")  # pragma: no cover
+            n += 1
+        return n
+
+    assert benchmark(run) == 1_000_000
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,7 @@ experiment pipeline but none of the optional analysis/figure extras.
 
 from __future__ import annotations
 
+from repro.errors import JournalError, WatchdogError
 from repro.experiments.campaign import (
     Campaign,
     CampaignEvent,
@@ -25,6 +26,7 @@ from repro.experiments.campaign import (
     ExecutionOutcome,
     ParallelExecutor,
     ResultCache,
+    RetryPolicy,
     SerialExecutor,
 )
 from repro.experiments.config import Architecture, ExperimentConfig, Policy
@@ -33,6 +35,7 @@ from repro.experiments.hooks import (
     get_build_hook,
     register_build_hook,
 )
+from repro.experiments.journal import CampaignJournal, JournalState, list_runs
 from repro.experiments.runtime import (
     ExperimentResult,
     HostSamples,
@@ -52,6 +55,7 @@ from repro.experiments.study import (
 )
 from repro.experiments.workloads import WorkloadSpec
 from repro.faults.plan import FaultPlan
+from repro.sim.watchdog import Watchdog, WatchdogViolation
 from repro.telemetry import (
     ActiveWindow,
     MetricsRegistry,
@@ -67,6 +71,7 @@ __all__ = [
     "Campaign",
     "CampaignEvent",
     "CampaignFailure",
+    "CampaignJournal",
     "CampaignResult",
     "Component",
     "ExecutionOutcome",
@@ -75,18 +80,25 @@ __all__ = [
     "FaultPlan",
     "HostSamples",
     "ImpactReport",
+    "JournalError",
+    "JournalState",
     "MetricsRegistry",
     "ParallelExecutor",
     "Policy",
     "ResultCache",
+    "RetryPolicy",
     "Runtime",
     "Scenario",
     "SerialExecutor",
     "StudySpec",
+    "Watchdog",
+    "WatchdogError",
+    "WatchdogViolation",
     "WorkloadSpec",
     "execute_scenario",
     "get_build_hook",
     "get_component",
+    "list_runs",
     "materialize",
     "register_build_hook",
     "register_component",

@@ -10,6 +10,8 @@ Examples::
     tensorlights collectives --link-rate 1Gbit        # all-reduce generality
     tensorlights utilization --quick                  # Result #3 direction
     tensorlights run --placement 1 --policy tls-one   # one raw experiment
+    tensorlights campaign --placements 1 4 --cache    # journaled, resumable
+    tensorlights campaign --resume 20260808-120000-abc123
 
 ``--parallel N`` fans independent runs out over N worker processes;
 ``--cache`` / ``--cache-dir`` reuse results across invocations (results
@@ -20,6 +22,7 @@ docs/reproduction-guide.md).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -220,7 +223,53 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--export-metrics", type=str, default=None, metavar="PATH",
                    help="also run with the metrics registry on and write one "
                         "snapshot per scenario to PATH (CSV if PATH ends "
-                        "with .csv, JSONL otherwise)")
+                        "with .csv, JSONL otherwise), plus a 'campaign' "
+                        "entry with retry/backoff/watchdog counters")
+    p.add_argument("--watchdog", choices=["off", "warn", "raise"],
+                   default=None,
+                   help="runtime invariant watchdog mode for the "
+                        "--export-metrics runs (violation counts land in "
+                        "each scenario's snapshot)")
+
+    p = sub.add_parser(
+        "campaign",
+        help="durable scenario campaign: write-ahead journal, resumable "
+             "after a kill, bounded-backoff retries",
+    )
+    _add_common(p)
+    _add_campaign(p)
+    p.add_argument("--placements", type=int, nargs="+", default=[1],
+                   help="Table I placement indices of the scenario grid")
+    p.add_argument("--policies", nargs="+",
+                   choices=[pol.value for pol in Policy],
+                   default=["fifo", "tls-one", "tls-rr"])
+    p.add_argument("--run-id", type=str, default=None,
+                   help="explicit journal run id for a fresh campaign")
+    p.add_argument("--resume", type=str, default=None, metavar="RUN_ID",
+                   help="resume a journaled campaign: completed scenarios "
+                        "come from the result cache, only pending/failed "
+                        "ones execute")
+    p.add_argument("--journal-dir", type=str, default=None, metavar="DIR",
+                   help="journal directory (default: <cache dir>/journals)")
+    p.add_argument("--list-runs", action="store_true",
+                   help="list journaled campaign runs and exit")
+    p.add_argument("--max-attempts", type=int, default=2,
+                   help="attempts per scenario whose worker process dies")
+    p.add_argument("--retry-base-delay", type=float, default=0.5,
+                   metavar="S", help="backoff before the first retry")
+    p.add_argument("--retry-factor", type=float, default=2.0,
+                   help="backoff growth factor between retries")
+    p.add_argument("--retry-max-delay", type=float, default=30.0,
+                   metavar="S", help="backoff ceiling")
+    p.add_argument("--watchdog", choices=["off", "warn", "raise"],
+                   default=None,
+                   help="runtime invariant watchdog mode for every scenario")
+    p.add_argument("--metrics", action="store_true",
+                   help="run every scenario with the metrics registry on")
+    p.add_argument("--hashes", type=str, default=None, metavar="PATH",
+                   help="write {scenario key: result content hash} JSON to "
+                        "PATH (the chaos harness diffs these across "
+                        "kill/resume round-trips)")
 
     p = sub.add_parser(
         "ablate",
@@ -302,6 +351,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             campaign=None if collect else _campaign(args),
             quick=args.quick,
             collect_metrics=collect,
+            watchdog=args.watchdog,
         )
         print(report.render())
         if collect:
@@ -311,6 +361,70 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"wrote metrics snapshots to {args.export_metrics}")
         # The exit code IS the reproduction check (paper Result #3).
         return 0 if report.direction_ok() else 1
+
+    if args.command == "campaign":
+        from repro.experiments.campaign import RetryPolicy
+        from repro.experiments.export import result_content_hash
+        from repro.experiments.journal import list_runs
+
+        if args.list_runs:
+            runs = list_runs(args.journal_dir)
+            if not runs:
+                print("no journaled campaign runs")
+            for run in runs:
+                print(f"{run['run_id']}  {run['bytes']:>8} bytes  {run['path']}")
+            return 0
+
+        # A journaled campaign always caches: resumed generations serve
+        # completed scenarios from the cache, so running without one
+        # would make every resume start from scratch.
+        cache = (ResultCache(args.cache_dir) if args.cache_dir
+                 else ResultCache.default())
+        campaign = Campaign(
+            executor=(ParallelExecutor(args.parallel)
+                      if args.parallel else None),
+            cache=cache,
+            progress=_print_progress if args.progress else None,
+            scenario_timeout=args.scenario_timeout,
+            retry=RetryPolicy(
+                max_attempts=args.max_attempts,
+                base_delay=args.retry_base_delay,
+                factor=args.retry_factor,
+                max_delay=args.retry_max_delay,
+            ),
+            journal=True,
+            resume=args.resume,
+            run_id=args.run_id,
+            journal_dir=args.journal_dir,
+            observe_metrics=args.metrics,
+            watchdog=args.watchdog,
+            on_failure="report",
+        )
+        scenarios = None
+        if args.resume is None:
+            scenarios = [
+                Scenario(
+                    config=cfg.replace(placement_index=pl, policy=Policy(pol))
+                ).with_tags(policy=pol, placement=str(pl))
+                for pl in args.placements
+                for pol in args.policies
+            ]
+        result = campaign.run(scenarios)
+        print(f"run {result.run_id}: {result.executed} executed, "
+              f"{result.cache_hits} cached, {len(result.failures)} failed, "
+              f"{result.wall_seconds:.1f}s")
+        if result.failure_report():
+            print(result.failure_report())
+        if args.hashes:
+            hashes = {
+                scenario.key():
+                    result_content_hash(r) if r is not None else None
+                for scenario, r in result.pairs()
+            }
+            with open(args.hashes, "w") as fh:
+                json.dump(hashes, fh, indent=2, sort_keys=True)
+            print(f"wrote content hashes to {args.hashes}")
+        return 1 if result.failures else 0
 
     if args.command == "ablate":
         from repro.experiments.figures import impact

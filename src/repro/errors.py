@@ -48,5 +48,16 @@ class CampaignError(ReproError):
     """A campaign-level failure (scenario timeout, dead pool worker, ...)."""
 
 
+class JournalError(CampaignError):
+    """A campaign journal is missing, unreadable, or inconsistent."""
+
+
+class WatchdogError(SimulationError):
+    """A runtime invariant violation (watchdog ``mode="raise"``), or an
+    invalid watchdog configuration.  Carries the triggering
+    :class:`~repro.sim.watchdog.WatchdogViolation` as ``violation`` when
+    raised by a check."""
+
+
 class WorkloadError(ReproError):
     """A DL job/workload specification is invalid."""

@@ -35,12 +35,28 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import CampaignError, ConfigError
-from repro.experiments.export import result_from_full_dict, result_to_full_dict
+from repro.experiments.export import (
+    result_content_hash,
+    result_from_full_dict,
+    result_to_full_dict,
+)
+from repro.experiments.journal import CampaignJournal, JOURNAL_SCHEMA
 from repro.experiments.runtime import ExperimentResult, execute_scenario
 from repro.experiments.scenario import Scenario
+from repro.telemetry.metrics import MetricsRegistry
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -61,6 +77,54 @@ def default_cache_dir() -> Path:
     if env:
         return Path(env)
     return Path.home() / ".cache" / "tensorlights-repro"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for scenarios whose *worker* died.
+
+    Attempt ``n`` (1-based) failing is followed by a sleep of
+    ``min(max_delay, base_delay * factor ** (n - 1))`` before attempt
+    ``n + 1``, up to ``max_attempts`` total attempts.  No jitter: the
+    campaign layer is deterministic-by-construction and two campaigns
+    retrying the same scenario should behave identically.
+
+    Only crashes (and resumed generations) are retried — an in-process
+    exception is deterministic, so re-running it would repeat the
+    failure byte for byte.
+    """
+
+    max_attempts: int = 2
+    base_delay: float = 0.5
+    factor: float = 2.0
+    max_delay: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0:
+            raise ConfigError(
+                f"base_delay must be >= 0, got {self.base_delay}"
+            )
+        if self.factor < 1:
+            raise ConfigError(f"factor must be >= 1, got {self.factor}")
+        if self.max_delay < self.base_delay:
+            raise ConfigError(
+                f"max_delay ({self.max_delay}) must be >= base_delay "
+                f"({self.base_delay})"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to sleep after failed attempt ``attempt`` (1-based)."""
+        if attempt < 1:
+            return 0.0
+        return min(self.max_delay, self.base_delay * self.factor ** (attempt - 1))
+
+    def total_backoff(self, attempts: int) -> float:
+        """Cumulative sleep an execution with ``attempts`` attempts paid."""
+        return sum(self.delay(a) for a in range(1, attempts))
 
 
 class ResultCache:
@@ -95,6 +159,7 @@ class ResultCache:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     @classmethod
     def default(cls) -> "ResultCache":
@@ -107,18 +172,39 @@ class ResultCache:
     def get(self, scenario: Scenario) -> Optional[ExperimentResult]:
         """The cached result for this scenario, or ``None`` on a miss.
 
-        Unreadable or stale-schema entries count as misses (and will be
-        overwritten on :meth:`put`), never as errors.
+        Unreadable or stale-schema entries count as misses, never as
+        errors.  A file that *exists* but will not parse — truncated by a
+        crash mid-write outside our atomic protocol, or bit-rotted — is
+        additionally quarantined (renamed with a ``.corrupt`` suffix) so
+        it stops shadowing the slot and the scenario re-runs cleanly.
         """
         entry = self._entry(scenario)
         try:
-            data = json.loads(entry.read_text())
+            text = entry.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            data = json.loads(text)
             result = result_from_full_dict(data["result"])
-        except (OSError, ValueError, KeyError, ConfigError):
+        except (ValueError, KeyError, TypeError, ConfigError):
+            self._quarantine(entry)
             self.misses += 1
             return None
         self.hits += 1
         return result
+
+    def _quarantine(self, entry: Path) -> None:
+        """Move a corrupt entry aside (``<entry>.corrupt``, last one wins).
+
+        The suffix takes the file out of the ``*.json`` namespace, so
+        ``purge``/``__len__`` ignore it and :meth:`put` rebuilds the slot.
+        """
+        try:
+            os.replace(entry, entry.with_name(entry.name + ".corrupt"))
+        except OSError:
+            return  # a concurrent reader already moved (or removed) it
+        self.corrupt += 1
 
     def put(self, scenario: Scenario, result: ExperimentResult) -> Path:
         """Store one result (atomic write); returns the entry path."""
@@ -184,6 +270,9 @@ class ExecutionOutcome:
     detail: str = ""
     error: Optional[BaseException] = None
     attempts: int = 1
+    #: pid of the process that produced this outcome (worker blame for
+    #: the campaign journal; the caller's own pid for serial execution)
+    pid: Optional[int] = None
 
 
 class _ScenarioTimeout(Exception):
@@ -206,20 +295,72 @@ def _find_timeout(exc: Optional[BaseException]) -> Optional[_ScenarioTimeout]:
     return None
 
 
-def _run_with_wall_timeout(scenario: Scenario, timeout: float) -> ExperimentResult:
-    """Run one scenario under a wall-clock budget (SIGALRM-based).
+def _run_with_timer_timeout(
+    scenario: Scenario, timeout: float, observe: Dict[str, Any]
+) -> ExperimentResult:
+    """Portable wall-clock guard: ``threading.Timer`` + async-exception.
 
-    Runs unguarded when the platform can't interrupt (no SIGALRM, or not
-    on the main thread — signal handlers are a main-thread affair).
-    Inside a pool worker the scenario IS the main thread's only work, so
-    the guard holds exactly where it matters.
+    Used where SIGALRM cannot (no POSIX signals, or off the main
+    thread).  A daemon timer injects :class:`_ScenarioTimeout` into the
+    running thread via ``PyThreadState_SetAsyncExc`` — delivery lands at
+    the next bytecode boundary, which the pure-Python simulator crosses
+    constantly.  A lock plus done-flag closes the finish-line race, and
+    a fired-but-undelivered injection is cleared best-effort on the way
+    out.
     """
+    import ctypes
+
+    set_async_exc = ctypes.pythonapi.PyThreadState_SetAsyncExc
+    tid = ctypes.c_ulong(threading.get_ident())
+    lock = threading.Lock()
+    state = {"done": False, "fired": False}
+
+    def on_timer() -> None:
+        with lock:
+            if state["done"]:
+                return
+            state["fired"] = True
+            set_async_exc(tid, ctypes.py_object(_ScenarioTimeout))
+
+    timer = threading.Timer(timeout, on_timer)
+    timer.daemon = True
+    timer.start()
+    try:
+        result = execute_scenario(scenario, **observe)
+    except _ScenarioTimeout:
+        raise _ScenarioTimeout(
+            f"exceeded {timeout:g}s wall-clock budget"
+        ) from None
+    finally:
+        with lock:
+            already_done = state["done"]
+            state["done"] = True
+        timer.cancel()
+        if state["fired"] and not already_done:
+            set_async_exc(tid, None)  # clear a pending, undelivered raise
+    return result
+
+
+def _run_with_wall_timeout(
+    scenario: Scenario,
+    timeout: float,
+    observe: Optional[Dict[str, Any]] = None,
+) -> ExperimentResult:
+    """Run one scenario under a wall-clock budget.
+
+    SIGALRM-based where possible (POSIX main thread — inside a pool
+    worker the scenario IS the main thread's only work, so the guard
+    holds exactly where it matters); everywhere else the portable
+    :func:`_run_with_timer_timeout` fallback keeps the budget
+    enforceable instead of silently dropping it.
+    """
+    observe = observe or {}
     can_alarm = (
         hasattr(signal, "SIGALRM")
         and threading.current_thread() is threading.main_thread()
     )
     if not can_alarm:
-        return execute_scenario(scenario)
+        return _run_with_timer_timeout(scenario, timeout, observe)
 
     def on_alarm(signum, frame):
         raise _ScenarioTimeout(f"exceeded {timeout:g}s wall-clock budget")
@@ -227,7 +368,7 @@ def _run_with_wall_timeout(scenario: Scenario, timeout: float) -> ExperimentResu
     old_handler = signal.signal(signal.SIGALRM, on_alarm)
     signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
-        return execute_scenario(scenario)
+        return execute_scenario(scenario, **observe)
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, old_handler)
@@ -262,30 +403,57 @@ def _maybe_chaos_kill(scenario: Scenario) -> None:
     os._exit(28)
 
 
+def _chaos_campaign_kill_after() -> Optional[int]:
+    """The ``REPRO_CHAOS_KILL=campaign-after:<N>`` threshold, if armed.
+
+    Unlike the worker-level kill hook above, this one fells the whole
+    *campaign process* after its Nth journaled outcome — the chaos
+    harness uses it to exercise kill/resume round-trips at a
+    deterministic point instead of racing a timer.
+    """
+    mode = os.environ.get(CHAOS_KILL_ENV, "")
+    if not mode.startswith("campaign-after:"):
+        return None
+    try:
+        return int(mode.split(":", 1)[1])
+    except ValueError:
+        return None
+
+
 def _guarded_execute(
     scenario: Scenario,
     timeout: Optional[float] = None,
     keep_exception: bool = False,
+    observe: Optional[Dict[str, Any]] = None,
 ) -> ExecutionOutcome:
-    """Run one scenario, converting failures into an :class:`ExecutionOutcome`."""
+    """Run one scenario, converting failures into an :class:`ExecutionOutcome`.
+
+    ``observe`` carries pass-through observability switches for
+    :func:`execute_scenario` (``{"metrics": True, "watchdog": "warn"}``)
+    — plain data so it crosses the process-pool pickle boundary.
+    """
     _maybe_chaos_kill(scenario)
+    pid = os.getpid()
     try:
         if timeout is not None:
-            result = _run_with_wall_timeout(scenario, timeout)
+            result = _run_with_wall_timeout(scenario, timeout, observe)
         else:
-            result = execute_scenario(scenario)
+            result = execute_scenario(scenario, **(observe or {}))
     except _ScenarioTimeout as exc:
-        return ExecutionOutcome(status="timeout", detail=str(exc))
+        return ExecutionOutcome(status="timeout", detail=str(exc), pid=pid)
     except Exception as exc:  # noqa: BLE001 - the whole point is containment
         timeout_exc = _find_timeout(exc)
         if timeout_exc is not None:
-            return ExecutionOutcome(status="timeout", detail=str(timeout_exc))
+            return ExecutionOutcome(
+                status="timeout", detail=str(timeout_exc), pid=pid
+            )
         return ExecutionOutcome(
             status="error",
             detail=f"{type(exc).__name__}: {exc}",
             error=exc if keep_exception else None,
+            pid=pid,
         )
-    return ExecutionOutcome(status="ok", result=result)
+    return ExecutionOutcome(status="ok", result=result, pid=pid)
 
 
 class SerialExecutor:
@@ -302,16 +470,20 @@ class SerialExecutor:
         scenarios: Sequence[Tuple[int, Scenario]],
         timeout: Optional[float] = None,
         max_attempts: int = 1,
+        observe: Optional[Dict[str, Any]] = None,
+        backoff: Optional[RetryPolicy] = None,
     ) -> Iterator[Tuple[int, ExecutionOutcome]]:
         """Yield ``(index, outcome)`` in submission order.
 
-        ``max_attempts`` is accepted for executor-interface parity but
-        meaningless here: in-process attempts are deterministic, so a
-        retry would only repeat the failure.
+        ``max_attempts`` and ``backoff`` are accepted for
+        executor-interface parity but meaningless here: in-process
+        attempts are deterministic, so a retry would only repeat the
+        failure.
         """
         for index, scenario in scenarios:
             yield index, _guarded_execute(
-                scenario, timeout=timeout, keep_exception=True
+                scenario, timeout=timeout, keep_exception=True,
+                observe=observe,
             )
 
 
@@ -341,8 +513,14 @@ class ParallelExecutor:
         scenarios: Sequence[Tuple[int, Scenario]],
         timeout: Optional[float] = None,
         max_attempts: int = 2,
+        observe: Optional[Dict[str, Any]] = None,
+        backoff: Optional[RetryPolicy] = None,
     ) -> Iterator[Tuple[int, ExecutionOutcome]]:
-        """Yield ``(index, outcome)`` as workers complete."""
+        """Yield ``(index, outcome)`` as workers complete.
+
+        ``backoff`` (a :class:`RetryPolicy`) spaces the quarantine
+        retries of crashed scenarios; ``None`` retries back-to-back.
+        """
         if not scenarios:
             return
         survivors: List[Tuple[int, Scenario]] = []
@@ -351,7 +529,9 @@ class ParallelExecutor:
             max_workers=self.max_workers, initializer=_mark_pool_worker
         ) as pool:
             pending = {
-                pool.submit(_guarded_execute, scenario, timeout): (index, scenario)
+                pool.submit(
+                    _guarded_execute, scenario, timeout, observe=observe
+                ): (index, scenario)
                 for index, scenario in scenarios
             }
             while pending and not broken:
@@ -370,18 +550,35 @@ class ParallelExecutor:
                         break
                     yield index, outcome
         for index, scenario in survivors:
-            yield index, self._quarantined(scenario, timeout, max_attempts)
+            yield index, self._quarantined(
+                scenario, timeout, max_attempts, observe=observe,
+                backoff=backoff,
+            )
 
     @staticmethod
     def _quarantined(
-        scenario: Scenario, timeout: Optional[float], max_attempts: int
+        scenario: Scenario,
+        timeout: Optional[float],
+        max_attempts: int,
+        observe: Optional[Dict[str, Any]] = None,
+        backoff: Optional[RetryPolicy] = None,
     ) -> ExecutionOutcome:
-        """Run one scenario alone in its own pool, retrying worker deaths."""
+        """Run one scenario alone in its own pool, retrying worker deaths.
+
+        With a ``backoff`` policy, attempt ``n + 1`` waits
+        ``backoff.delay(n)`` wall-clock seconds first — a transiently
+        overloaded machine (the usual reason a worker was OOM-killed)
+        gets room to recover instead of being hammered back-to-back.
+        """
         for attempt in range(1, max_attempts + 1):
+            if attempt > 1 and backoff is not None:
+                time.sleep(backoff.delay(attempt - 1))
             with ProcessPoolExecutor(
                 max_workers=1, initializer=_mark_pool_worker
             ) as pool:
-                future = pool.submit(_guarded_execute, scenario, timeout)
+                future = pool.submit(
+                    _guarded_execute, scenario, timeout, observe=observe
+                )
                 try:
                     outcome = future.result()
                 except BrokenProcessPool:
@@ -454,6 +651,11 @@ class CampaignResult:
     executed: int = 0
     wall_seconds: float = 0.0
     failures: List[CampaignFailure] = field(default_factory=list)
+    #: the journal run id, when the campaign was journaled (else ``None``)
+    run_id: Optional[str] = None
+    #: campaign-level metrics snapshot (retries, backoff, cache traffic,
+    #: aggregated watchdog violations) — see ``Campaign.metrics``
+    campaign_metrics: Optional[Dict[str, Any]] = None
 
     def __iter__(self) -> Iterator[Optional[ExperimentResult]]:
         return iter(self.results)
@@ -498,13 +700,34 @@ class Campaign:
             ``None`` means unbounded.
         max_attempts: how often a scenario whose worker process dies is
             retried before being written off (parallel executor only).
+            Shorthand for ``retry=RetryPolicy(max_attempts=...)``.
         on_failure: ``"raise"`` (default — first failure aborts the
             campaign, matching historical behaviour) or ``"report"`` —
             healthy scenarios keep their results, casualties end up in
             :attr:`CampaignResult.failures`.
+        retry: a :class:`RetryPolicy` governing attempts *and* the
+            exponential backoff between them; overrides ``max_attempts``.
+        journal: write a write-ahead :class:`CampaignJournal` for this
+            run, making it resumable after a crash or kill.
+        resume: run id of a journaled campaign to resume — its journal
+            is replayed, completed scenarios are served from the result
+            cache, and only pending/failed scenarios execute (with a
+            fresh retry budget).  Requires ``cache``.
+        run_id: explicit run id for a fresh journaled run (defaults to a
+            generated timestamp id).
+        journal_dir: where journals live (default:
+            ``<cache dir>/journals``).
+        observe_metrics: run every scenario with the per-run metrics
+            registry enabled (results gain ``metrics_snapshot``).
+        watchdog: runtime invariant watchdog mode for every scenario —
+            ``None`` (off), ``"warn"`` or ``"raise"``.
 
     One campaign object is reusable: the CLI builds a single campaign
     from its flags and passes it through every figure generator.
+    Campaign-level counters (retries, backoff seconds, cache traffic,
+    aggregated watchdog violations) accumulate in :attr:`metrics`, a
+    :class:`~repro.telemetry.metrics.MetricsRegistry`, and each
+    :class:`CampaignResult` carries a snapshot.
     """
 
     def __init__(
@@ -515,6 +738,13 @@ class Campaign:
         scenario_timeout: Optional[float] = None,
         max_attempts: int = 2,
         on_failure: str = "raise",
+        retry: Optional[RetryPolicy] = None,
+        journal: bool = False,
+        resume: Optional[str] = None,
+        run_id: Optional[str] = None,
+        journal_dir: Optional[os.PathLike] = None,
+        observe_metrics: bool = False,
+        watchdog: Optional[str] = None,
     ) -> None:
         if scenario_timeout is not None and scenario_timeout <= 0:
             raise ConfigError(
@@ -526,24 +756,152 @@ class Campaign:
             raise ConfigError(
                 f"on_failure must be 'raise' or 'report', got {on_failure!r}"
             )
+        if watchdog not in (None, "off", "warn", "raise"):
+            raise ConfigError(
+                f"watchdog must be None, 'off', 'warn' or 'raise', "
+                f"got {watchdog!r}"
+            )
+        if resume is not None and cache is None:
+            raise ConfigError(
+                "resume requires a ResultCache: completed scenarios are "
+                "served from it instead of re-simulating"
+            )
         self.executor = executor if executor is not None else SerialExecutor()
         self.cache = cache
         self.progress = progress
         self.scenario_timeout = scenario_timeout
-        self.max_attempts = max_attempts
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_attempts=max_attempts
+        )
+        self.max_attempts = self.retry.max_attempts
         self.on_failure = on_failure
+        self.journal = journal or resume is not None or run_id is not None
+        self.resume = resume
+        self.run_id = run_id
+        self.journal_dir = journal_dir
+        self.observe_metrics = observe_metrics
+        self.watchdog = None if watchdog == "off" else watchdog
+        self.metrics = MetricsRegistry(enabled=True)
 
-    def run(self, scenarios: Iterable[Scenario]) -> CampaignResult:
+    # -- journal plumbing ---------------------------------------------------
+
+    #: campaign-level counters materialized at zero on every run, so an
+    #: export after a clean campaign reports explicit zeros instead of
+    #: silently omitting the series
+    _METRIC_NAMES = (
+        "campaign_scenarios_total",
+        "campaign_retries_total",
+        "campaign_backoff_seconds_total",
+        "campaign_cache_hits_total",
+        "campaign_cache_corrupt_total",
+        "campaign_watchdog_violations_total",
+    )
+
+    def _observe(self) -> Optional[Dict[str, Any]]:
+        """The observability switches shipped to every execution."""
+        observe: Dict[str, Any] = {}
+        if self.observe_metrics:
+            observe["metrics"] = True
+        if self.watchdog is not None:
+            observe["watchdog"] = self.watchdog
+        return observe or None
+
+    def _open_journal(
+        self,
+    ) -> Tuple[Optional[CampaignJournal], Optional[List[Scenario]], Dict[str, int]]:
+        """Open/create the journal; recover the resumed scenario plan.
+
+        Returns ``(journal, recovered_scenarios, prior_attempts)`` —
+        ``recovered_scenarios`` is only set on resume (the journal holds
+        the full plan, so the caller need not re-specify it).
+        """
+        if self.resume is not None:
+            journal = CampaignJournal.open(self.resume, self.journal_dir)
+            state = journal.state()
+            journal.append({
+                "kind": "resume", "run_id": journal.run_id,
+                "ts": time.time(), "pending": len(state.pending()),
+            })
+            return journal, state.scenarios, dict(state.attempts)
+        if self.journal:
+            journal = CampaignJournal.create(self.journal_dir, self.run_id)
+            return journal, None, {}
+        return None, None, {}
+
+    def run(
+        self, scenarios: Optional[Iterable[Scenario]] = None
+    ) -> CampaignResult:
         """Run every scenario, serving cache hits without simulating.
 
         Duplicate scenarios (same content key) are simulated once even
         without a cache; both positions receive the same result object.
+
+        ``scenarios`` may be omitted on resume: the journal stores the
+        full scenario plan, so ``Campaign(resume=run_id).run()`` picks
+        up exactly where the killed campaign stopped.
         """
         wall_start = time.perf_counter()
-        scenario_list = list(scenarios)
+        journal, recovered, prior_attempts = self._open_journal()
+        if scenarios is None:
+            if recovered is None:
+                raise ConfigError(
+                    "run() needs scenarios unless resuming a journaled "
+                    "campaign (Campaign(resume=...))"
+                )
+            scenario_list = list(recovered)
+        else:
+            scenario_list = list(scenarios)
+        try:
+            return self._run(journal, scenario_list, prior_attempts, wall_start)
+        finally:
+            if journal is not None:
+                journal.close()
+
+    def _run(
+        self,
+        journal: Optional[CampaignJournal],
+        scenario_list: List[Scenario],
+        prior_attempts: Dict[str, int],
+        wall_start: float,
+    ) -> CampaignResult:
         total = len(scenario_list)
+        keys = [scenario.key() for scenario in scenario_list]
         results: List[Optional[ExperimentResult]] = [None] * total
         completed = 0
+        metrics = self.metrics
+        for name in self._METRIC_NAMES:
+            metrics.counter(name)
+        cache_corrupt_before = self.cache.corrupt if self.cache else 0
+
+        # Chaos hook: fell the whole campaign process after the Nth
+        # journaled outcome (journal-gated: an unjournaled campaign has
+        # nothing to resume, so killing it would only lose work).
+        kill_after = _chaos_campaign_kill_after() if journal else None
+        outcomes_recorded = 0
+
+        def record_outcome(record: Dict[str, Any]) -> None:
+            nonlocal outcomes_recorded
+            if journal is None:
+                return
+            journal.append(record)
+            outcomes_recorded += 1
+            if kill_after is not None and outcomes_recorded >= kill_after:
+                os._exit(29)
+
+        # Write-ahead: the generation's full plan, before anything runs.
+        if journal is not None:
+            if self.resume is None:
+                journal.append({
+                    "kind": "campaign_start", "schema": JOURNAL_SCHEMA,
+                    "run_id": journal.run_id, "total": total,
+                    "ts": time.time(),
+                })
+            for index, scenario in enumerate(scenario_list):
+                journal.append({
+                    "kind": "scenario", "index": index, "key": keys[index],
+                    "label": scenario.label,
+                    "scenario": scenario.to_dict(),
+                })
 
         def emit(status: str, index: int) -> None:
             if self.progress is not None:
@@ -557,7 +915,7 @@ class Campaign:
         first_of_key: Dict[str, int] = {}
         duplicates: Dict[int, List[int]] = {}
         for index, scenario in enumerate(scenario_list):
-            key = scenario.key()
+            key = keys[index]
             if key in first_of_key:
                 duplicates.setdefault(first_of_key[key], []).append(index)
                 continue
@@ -566,6 +924,14 @@ class Campaign:
                 results[index] = cached
                 completed += 1
                 first_of_key[key] = index
+                metrics.counter("campaign_scenarios_total", status="cached").inc()
+                metrics.counter("campaign_cache_hits_total").inc()
+                record_outcome({
+                    "kind": "outcome", "index": index, "key": key,
+                    "status": "cached", "cached": True,
+                    "attempts": prior_attempts.get(key, 0),
+                    "content_hash": result_content_hash(cached),
+                })
                 emit("cached", index)
                 continue
             first_of_key[key] = index
@@ -576,18 +942,59 @@ class Campaign:
         cache_hits = completed
         failures: List[CampaignFailure] = []
         failed_indices: set = set()
+        if journal is not None:
+            for index, scenario in to_run:
+                journal.append({
+                    "kind": "submit", "index": index, "key": keys[index],
+                    "attempt": prior_attempts.get(keys[index], 0) + 1,
+                })
         for index, outcome in self.executor.map(
             to_run,
             timeout=self.scenario_timeout,
             max_attempts=self.max_attempts,
+            observe=self._observe(),
+            backoff=self.retry,
         ):
+            key = keys[index]
+            attempts = prior_attempts.get(key, 0) + outcome.attempts
+            metrics.counter(
+                "campaign_scenarios_total", status=outcome.status
+            ).inc()
+            if outcome.attempts > 1:
+                metrics.counter("campaign_retries_total").inc(
+                    outcome.attempts - 1
+                )
+                metrics.counter("campaign_backoff_seconds_total").inc(
+                    self.retry.total_backoff(outcome.attempts)
+                )
             if outcome.status == "ok":
                 results[index] = outcome.result
                 completed += 1
+                violations = getattr(
+                    outcome.result, "watchdog_violations", None
+                )
+                if violations:
+                    metrics.counter(
+                        "campaign_watchdog_violations_total"
+                    ).inc(len(violations))
                 if self.cache is not None:
+                    # Cache first, then journal: a journaled "ok" must
+                    # always be servable from the cache on resume.
                     self.cache.put(scenario_list[index], outcome.result)
+                record_outcome({
+                    "kind": "outcome", "index": index, "key": key,
+                    "status": "ok", "cached": False, "attempts": attempts,
+                    "content_hash": result_content_hash(outcome.result),
+                    "worker": outcome.pid,
+                })
                 emit("done", index)
                 continue
+            record_outcome({
+                "kind": "outcome", "index": index, "key": key,
+                "status": outcome.status, "cached": False,
+                "attempts": attempts, "detail": outcome.detail,
+                "worker": outcome.pid,
+            })
             if self.on_failure == "raise":
                 if outcome.error is not None:
                     raise outcome.error
@@ -626,6 +1033,17 @@ class Campaign:
                 results[dup] = results[index]
                 emit("done", dup)
 
+        if self.cache is not None:
+            corrupt = self.cache.corrupt - cache_corrupt_before
+            if corrupt:
+                metrics.counter("campaign_cache_corrupt_total").inc(corrupt)
+        if journal is not None:
+            journal.append({
+                "kind": "campaign_end", "executed": len(to_run),
+                "cached": cache_hits, "failed": len(failures),
+                "ts": time.time(),
+            })
+
         assert all(
             r is not None
             for i, r in enumerate(results)
@@ -638,6 +1056,8 @@ class Campaign:
             executed=len(to_run),
             wall_seconds=time.perf_counter() - wall_start,
             failures=failures,
+            run_id=journal.run_id if journal is not None else None,
+            campaign_metrics=metrics.snapshot(),
         )
 
     def run_one(self, scenario: Scenario) -> ExperimentResult:

@@ -28,7 +28,7 @@ from repro.experiments.figures.common import (
     run_policies,
 )
 from repro.experiments.report import TextTable
-from repro.experiments.runtime import ExperimentResult, materialize
+from repro.experiments.runtime import ExperimentResult
 from repro.telemetry import ActiveWindow
 
 #: Report rows: (resource label, series name, host kind, paper "One/RR").
@@ -57,7 +57,9 @@ class UtilizationReport:
     results: Dict[Policy, ExperimentResult]
     window: ActiveWindow
     #: scenario content hash -> ``sim.metrics.snapshot()`` (only populated
-    #: when generated with ``collect_metrics=True``)
+    #: when generated with ``collect_metrics=True``).  One extra entry
+    #: under the key ``"campaign"`` holds the campaign-level snapshot —
+    #: retry/backoff counters and aggregated watchdog violation counts.
     snapshots: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     def _hosts(self, result: ExperimentResult, kind: str) -> List[str]:
@@ -126,6 +128,7 @@ def generate(
     campaign: Optional[Campaign] = None,
     quick: bool = False,
     collect_metrics: bool = False,
+    watchdog: Optional[str] = None,
     **overrides,
 ) -> UtilizationReport:
     """Run placement #1 with telemetry under all three policies.
@@ -135,9 +138,15 @@ def generate(
             the contention the paper measures still exists.
         collect_metrics: additionally run each scenario with the metrics
             registry on and keep one snapshot per scenario content hash
-            (bypasses the campaign for those runs: in-process observation
-            is not part of Scenario identity, so snapshots can never come
-            from a cache).
+            (runs through a fresh *observing* serial campaign instead of
+            the caller's cached one: in-process observation is not part
+            of Scenario identity, so snapshots can never come from a
+            cache).  The campaign's own counters — retries, backoff
+            seconds, aggregated watchdog violations — are attached under
+            the extra snapshot key ``"campaign"``.
+        watchdog: runtime invariant watchdog mode for the observing runs
+            (``None``, ``"warn"`` or ``"raise"``); per-run violation
+            counts land in each scenario's snapshot.
     """
     cfg = base_config(base, **overrides).replace(
         placement_index=1, sample_hosts=True
@@ -145,14 +154,15 @@ def generate(
     if quick:
         cfg = cfg.replace(iterations=min(cfg.iterations, 8))
     if collect_metrics:
-        results: Dict[Policy, ExperimentResult] = {}
-        snapshots: Dict[str, Dict[str, Any]] = {}
-        for policy, scenario in zip(
-            ALL_POLICIES, policy_scenarios(cfg, ALL_POLICIES)
-        ):
-            result = materialize(scenario, metrics=True).run()
-            results[policy] = result
-            snapshots[scenario.key()] = result.metrics_snapshot
+        observer = Campaign(observe_metrics=True, watchdog=watchdog)
+        scenarios = policy_scenarios(cfg, ALL_POLICIES)
+        observed = observer.run(scenarios)
+        results = dict(zip(ALL_POLICIES, observed.results))
+        snapshots = {
+            scenario.key(): result.metrics_snapshot
+            for scenario, result in zip(scenarios, observed.results)
+        }
+        snapshots["campaign"] = observed.campaign_metrics
     else:
         results = run_policies(cfg, ALL_POLICIES, campaign)
         snapshots = {}

@@ -24,6 +24,7 @@ touch the campaign cache; see ``experiments/figures/fct.py``).
 from __future__ import annotations
 
 import math
+import os
 import time
 import zlib
 from dataclasses import dataclass, field
@@ -97,6 +98,12 @@ class ExperimentResult:
     #: hash and the on-disk cache must be identical with metrics on or
     #: off, so this field is dropped on cache round-trips.
     metrics_snapshot: Dict[str, Any] = field(default_factory=dict)
+    #: structured :class:`~repro.sim.watchdog.WatchdogViolation` dicts
+    #: when the run was materialized with a watchdog mode; empty
+    #: otherwise.  Observability like ``metrics_snapshot``: excluded from
+    #: the serialized schema and the content hash, so enabling the
+    #: watchdog cannot change what a result *is*.
+    watchdog_violations: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def avg_jct(self) -> float:
@@ -198,6 +205,13 @@ class Runtime:
 
         sim.run()
 
+        # Quiescence invariants run BEFORE the unfinished-jobs check: a
+        # raise-mode watchdog should blame the leak/stall that *caused*
+        # jobs to hang, not be masked by the generic hang error.
+        watchdog_violations = [
+            v.to_dict() for v in sim.watchdog.finalize()
+        ]
+
         unfinished = [a.spec.job_id for a in apps if not a.metrics.finished]
         if unfinished:
             if self.injector is not None:
@@ -234,6 +248,7 @@ class Runtime:
                 list(self.injector.events) if self.injector is not None else []
             ),
             metrics_snapshot=metrics_snapshot,
+            watchdog_violations=watchdog_violations,
         )
 
 
@@ -245,6 +260,7 @@ def materialize(
         Callable[[Cluster, ExperimentConfig], Optional[TensorLights]]
     ] = None,
     metrics: bool = False,
+    watchdog: Optional[str] = None,
 ) -> Runtime:
     """Build the live simulation a scenario describes (without running it).
 
@@ -265,6 +281,13 @@ def materialize(
             :attr:`ExperimentResult.metrics_snapshot`.  Like the hooks
             above, this is an in-process observation switch, not part of
             Scenario identity — it cannot change simulated results.
+        watchdog: runtime invariant watchdog mode — ``None``/``"off"``
+            (default), ``"warn"`` or ``"raise"``.  Enables
+            ``sim.watchdog`` with the byte-conservation, qdisc, port-leak,
+            TensorLights-drift and stall checks registered for this run's
+            cluster/apps/controller.  Same contract as ``metrics``: an
+            observation switch whose heartbeat self-compensates the step
+            counter, so result content hashes are unchanged.
     """
     config = scenario.config
 
@@ -436,6 +459,18 @@ def materialize(
             )
             samplers[hid].start()
 
+    if watchdog is not None and watchdog != "off":
+        from repro.dl.invariants import register_dl_checks
+        from repro.net.invariants import register_net_checks
+        from repro.tensorlights.invariants import register_tensorlights_checks
+
+        sim.watchdog.configure(watchdog)
+        register_net_checks(sim.watchdog, cluster)
+        register_dl_checks(sim.watchdog, cluster, apps)
+        if controller is not None:
+            register_tensorlights_checks(sim.watchdog, controller)
+        sim.watchdog.start()
+
     runtime = Runtime(
         scenario=scenario,
         sim=sim,
@@ -454,10 +489,24 @@ def materialize(
     return runtime
 
 
-def execute_scenario(scenario: Scenario) -> ExperimentResult:
+#: Environment fallback for the watchdog mode — inherited by campaign
+#: pool workers, so ``REPRO_WATCHDOG=warn tensorlights ...`` watches a
+#: whole parallel sweep without any call-site plumbing.
+WATCHDOG_ENV = "REPRO_WATCHDOG"
+
+
+def execute_scenario(
+    scenario: Scenario,
+    metrics: bool = False,
+    watchdog: Optional[str] = None,
+) -> ExperimentResult:
     """Materialize and run one scenario to completion.
 
     The top-level entry point the campaign executors submit — importable
-    by name, takes and returns only picklable values.
+    by name, takes and returns only picklable values.  ``metrics`` and
+    ``watchdog`` are the observability switches of :func:`materialize`;
+    ``watchdog`` falls back to ``$REPRO_WATCHDOG`` when unset.
     """
-    return materialize(scenario).run()
+    if watchdog is None:
+        watchdog = os.environ.get(WATCHDOG_ENV) or None
+    return materialize(scenario, metrics=metrics, watchdog=watchdog).run()

@@ -1,9 +1,11 @@
 """Deterministic fault injection: declarative chaos plans + an injector.
 
-See :mod:`repro.faults.plan` for the plan vocabulary and
-:mod:`repro.faults.injector` for how plans become scheduled sim events.
+See :mod:`repro.faults.plan` for the plan vocabulary,
+:mod:`repro.faults.injector` for how plans become scheduled sim events,
+and :mod:`repro.faults.chaos` for the process-level kill/resume harness.
 """
 
+from repro.faults.chaos import CAMPAIGN_KILL_EXIT, ChaosRoundTrip, kill_resume_roundtrip
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
     BurstLoss,
@@ -21,9 +23,12 @@ from repro.faults.plan import (
 
 __all__ = [
     "BurstLoss",
+    "CAMPAIGN_KILL_EXIT",
+    "ChaosRoundTrip",
     "FAULT_KINDS",
     "Fault",
     "FaultInjector",
+    "kill_resume_roundtrip",
     "FaultPlan",
     "HostCrash",
     "NicDegrade",

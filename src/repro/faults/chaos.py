@@ -1,0 +1,168 @@
+"""Process-level chaos harness: kill a campaign, resume it, diff it.
+
+Where :mod:`repro.faults.plan` injects faults *inside* the simulation,
+this module injects them *around* it — it drives the ``tensorlights
+campaign`` CLI in a subprocess with ``REPRO_CHAOS_KILL=campaign-after:N``
+armed, so the campaign process hard-exits after its Nth journaled
+outcome, then resumes the run and compares per-scenario result content
+hashes against an uninterrupted baseline.  Byte-identical hashes are the
+durability contract: a SIGKILL at any point loses wall-clock time, never
+results.
+
+The kill point is an *outcome count*, not a timer, so chaos round-trips
+are deterministic and CI-stable.  Used by the ``chaos-smoke`` CI job and
+``tests/experiments/test_campaign_resume.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import CampaignError
+
+#: Exit code of a campaign felled by ``campaign-after:<N>`` (see
+#: ``repro.experiments.campaign._chaos_campaign_kill_after``).
+CAMPAIGN_KILL_EXIT = 29
+
+
+@dataclass
+class ChaosRoundTrip:
+    """Everything one kill/resume round-trip produced.
+
+    ``interrupted_hashes`` come from the killed-then-resumed campaign,
+    ``baseline_hashes`` from the same grid run uninterrupted in a fresh
+    cache; :meth:`identical` is the durability verdict.
+    """
+
+    run_id: str
+    kill_after: int
+    kill_returncode: int
+    interrupted_hashes: Dict[str, str]
+    baseline_hashes: Dict[str, str]
+    resume_log: str = ""
+    baseline_log: str = ""
+    extra_args: List[str] = field(default_factory=list)
+
+    def identical(self) -> bool:
+        """Did the resumed campaign produce byte-identical results?"""
+        return (
+            bool(self.interrupted_hashes)
+            and self.interrupted_hashes == self.baseline_hashes
+        )
+
+    def diff(self) -> List[str]:
+        """Human-readable hash mismatches (empty when identical)."""
+        out = []
+        keys = sorted(set(self.interrupted_hashes) | set(self.baseline_hashes))
+        for key in keys:
+            a = self.interrupted_hashes.get(key)
+            b = self.baseline_hashes.get(key)
+            if a != b:
+                out.append(f"{key}: resumed={a} baseline={b}")
+        return out
+
+
+def _run_cli(args: List[str], env: Dict[str, str]) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        env=env, capture_output=True, text=True,
+    )
+
+
+def _cli_env(cache_dir: str, chaos: Optional[str] = None) -> Dict[str, str]:
+    # Imported lazily: repro.experiments.campaign itself depends on
+    # repro.faults.plan, so a module-level import here would be circular.
+    from repro.experiments.campaign import CACHE_DIR_ENV, CHAOS_KILL_ENV
+
+    env = dict(os.environ)
+    env[CACHE_DIR_ENV] = cache_dir
+    env.pop(CHAOS_KILL_ENV, None)
+    if chaos is not None:
+        env[CHAOS_KILL_ENV] = chaos
+    # The harness is spawned from tests/CI where the package may only be
+    # importable via the repo's src directory; inherit the caller's path.
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (env.get("PYTHONPATH", ""), *sys.path) if p
+    )
+    return env
+
+
+def kill_resume_roundtrip(
+    work_dir: str,
+    kill_after: int = 2,
+    run_id: str = "chaos-roundtrip",
+    campaign_args: Optional[List[str]] = None,
+) -> ChaosRoundTrip:
+    """Kill a campaign after ``kill_after`` outcomes, resume, and diff.
+
+    Drives three CLI invocations under ``work_dir``:
+
+    1. ``tensorlights campaign ... --run-id <id>`` with
+       ``REPRO_CHAOS_KILL=campaign-after:<N>`` armed — must die with
+       :data:`CAMPAIGN_KILL_EXIT`;
+    2. ``tensorlights campaign --resume <id> --hashes ...`` without
+       chaos — finishes the run from the journal;
+    3. the same grid uninterrupted in a *fresh* cache — the baseline.
+
+    Returns a :class:`ChaosRoundTrip`; raises :class:`CampaignError`
+    when the kill or either campaign misbehaves (wrong exit code), so
+    harness bugs fail loudly instead of producing a vacuous comparison.
+    """
+    campaign_args = list(campaign_args) if campaign_args else [
+        "--placements", "1", "--policies", "fifo", "tls-one", "tls-rr",
+        "--jobs", "2", "--workers", "2", "--iterations", "4",
+    ]
+    cache = os.path.join(work_dir, "cache-interrupted")
+    baseline_cache = os.path.join(work_dir, "cache-baseline")
+    resumed_hashes = os.path.join(work_dir, "resumed-hashes.json")
+    baseline_hashes = os.path.join(work_dir, "baseline-hashes.json")
+
+    killed = _run_cli(
+        ["campaign", *campaign_args, "--run-id", run_id],
+        _cli_env(cache, chaos=f"campaign-after:{kill_after}"),
+    )
+    if killed.returncode != CAMPAIGN_KILL_EXIT:
+        raise CampaignError(
+            f"chaos kill did not fire: expected exit {CAMPAIGN_KILL_EXIT}, "
+            f"got {killed.returncode}\n{killed.stderr}"
+        )
+
+    resumed = _run_cli(
+        ["campaign", "--resume", run_id, "--hashes", resumed_hashes],
+        _cli_env(cache),
+    )
+    if resumed.returncode != 0:
+        raise CampaignError(
+            f"resume failed with exit {resumed.returncode}\n{resumed.stderr}"
+        )
+
+    baseline = _run_cli(
+        ["campaign", *campaign_args, "--run-id", f"{run_id}-baseline",
+         "--hashes", baseline_hashes],
+        _cli_env(baseline_cache),
+    )
+    if baseline.returncode != 0:
+        raise CampaignError(
+            f"baseline failed with exit {baseline.returncode}\n"
+            f"{baseline.stderr}"
+        )
+
+    with open(resumed_hashes) as fh:
+        interrupted = json.load(fh)
+    with open(baseline_hashes) as fh:
+        base = json.load(fh)
+    return ChaosRoundTrip(
+        run_id=run_id,
+        kill_after=kill_after,
+        kill_returncode=killed.returncode,
+        interrupted_hashes=interrupted,
+        baseline_hashes=base,
+        resume_log=resumed.stdout,
+        baseline_log=baseline.stdout,
+        extra_args=campaign_args,
+    )

@@ -43,6 +43,7 @@ class OutputPort:
         "_busy_since",
         "max_backlog",
         "drops",
+        "dropped_bytes",
     )
 
     def __init__(
@@ -68,6 +69,7 @@ class OutputPort:
         self._busy_since = 0.0
         self.max_backlog = 0
         self.drops = 0
+        self.dropped_bytes = 0
 
     def enqueue(self, seg: Segment) -> None:
         if (
@@ -75,6 +77,7 @@ class OutputPort:
             and self._queued_bytes + seg.size > self.buffer_bytes
         ):
             self.drops += 1
+            self.dropped_bytes += seg.size
             if self.sim.trace.enabled:
                 self.sim.trace.record(
                     "switch_drop", port=self.host_id, flow=str(seg.flow),
@@ -153,6 +156,10 @@ class Switch:
     @property
     def total_drops(self) -> int:
         return sum(p.drops for p in self._ports.values())
+
+    def iter_ports(self):
+        """Every egress port (invariant checks, monitoring)."""
+        return iter(self._ports.values())
 
     def ingress(self, seg: Segment) -> None:
         """A segment arrived from some host; forward it."""

@@ -121,5 +121,9 @@ class StarNetwork:
     def host_ids(self) -> list[str]:
         return list(self.nics)
 
+    def iter_ports(self):
+        """Every fabric egress port (invariant checks, monitoring)."""
+        return self.switch.iter_ports()
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"<StarNetwork hosts={len(self.nics)} rate={self.link.rate:.0f}B/s>"

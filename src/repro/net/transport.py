@@ -99,6 +99,7 @@ class Transport:
         "messages_unrouted",
         "segments_lost",
         "segments_retransmitted",
+        "chaos_leak_segments",
     )
 
     def __init__(
@@ -146,6 +147,12 @@ class Transport:
         self.messages_unrouted = 0
         self.segments_lost = 0
         self.segments_retransmitted = 0
+        #: TEST-ONLY fault seed for the watchdog suite: when > 0, this many
+        #: arriving segments are silently swallowed after reception — the
+        #: receive state never completes, exactly the byte-leak bug class
+        #: the conservation/flow-leak invariants exist to catch.  Never set
+        #: outside tests; it deliberately breaks the transport.
+        self.chaos_leak_segments = 0
 
         nic.on_segment_sent = self._on_segment_serialized
         nic.on_receive = self._on_segment_arrival
@@ -271,6 +278,11 @@ class Transport:
         if state is None:
             state = _RecvState(msg)
             self._recv_states[msg.msg_id] = state
+        if self.chaos_leak_segments > 0:
+            # Seeded byte leak (see the attribute docstring): the bytes
+            # stay unaccounted in the receive state forever.
+            self.chaos_leak_segments -= 1
+            return
         state.received += seg.size
         if state.received < msg.size:
             return

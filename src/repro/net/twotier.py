@@ -206,3 +206,11 @@ class TwoTierNetwork:
     @property
     def host_ids(self) -> List[str]:
         return list(self.nics)
+
+    def iter_ports(self):
+        """Every fabric egress port across both tiers (invariant checks)."""
+        for leaf in self.leaves:
+            yield from leaf._host_ports.values()
+            if leaf.uplink is not None:
+                yield leaf.uplink
+        yield from self.spine._downlinks.values()

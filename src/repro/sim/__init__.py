@@ -24,6 +24,7 @@ from repro.sim.process import Process, Timeout, Waitable
 from repro.sim.primitives import AllOf, Barrier, Mailbox, Resource, Signal
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import TraceRecord, Tracer
+from repro.sim.watchdog import Watchdog, WatchdogViolation
 
 __all__ = [
     "AllOf",
@@ -40,4 +41,6 @@ __all__ = [
     "TraceRecord",
     "Tracer",
     "Waitable",
+    "Watchdog",
+    "WatchdogViolation",
 ]

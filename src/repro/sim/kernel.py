@@ -10,6 +10,7 @@ from repro.sim.events import PRIORITY_NORMAL, Event, EventQueue
 from repro.sim.process import Process, ProcessGen
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import Tracer
+from repro.sim.watchdog import Watchdog
 from repro.telemetry.metrics import MetricsRegistry
 
 
@@ -24,7 +25,9 @@ class Simulator:
     * deterministic random streams (:attr:`rng`),
     * an optional :class:`~repro.sim.trace.Tracer`,
     * a :class:`~repro.telemetry.metrics.MetricsRegistry` (disabled by
-      default; instrumented components guard on ``sim.metrics.enabled``).
+      default; instrumented components guard on ``sim.metrics.enabled``),
+    * a :class:`~repro.sim.watchdog.Watchdog` (mode ``"off"`` by default;
+      enable with ``sim.watchdog.configure(mode=...)`` + ``start()``).
 
     Typical usage::
 
@@ -41,6 +44,7 @@ class Simulator:
         self.trace.bind_clock(lambda: self.now)
         self.metrics = MetricsRegistry()
         self.metrics.bind_clock(lambda: self.now)
+        self.watchdog = Watchdog(self)
         self.processes: list[Process] = []
         self._running = False
         self._steps = 0

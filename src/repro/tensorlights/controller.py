@@ -217,8 +217,13 @@ class TensorLights:
         their ``done`` signal (a crashed PS never does), and re-installs
         HTB on recovered hosts whose desired state says it should exist.
         Returns the number of hosts whose configuration was touched.
+
+        With the runtime watchdog enabled, every repair is also reported
+        as a ``tl_reconcile`` violation — drift the reconciler had to fix
+        is drift some earlier path failed to prevent.
         """
         touched = 0
+        watchdog = getattr(self.cluster.sim, "watchdog", None)
         for state in self._hosts.values():
             stale = [a for a in state.apps
                      if a.done.fired or getattr(a, "failed", False)]
@@ -230,6 +235,14 @@ class TensorLights:
             if stale:
                 self._reconfigure(state)
                 touched += 1
+                if watchdog is not None and watchdog.enabled:
+                    watchdog.report(
+                        "tl_reconcile",
+                        f"reconcile dropped stale jobs on {state.host_id}: "
+                        f"{[a.spec.job_id for a in stale]}",
+                        host=state.host_id,
+                        jobs=[a.spec.job_id for a in stale],
+                    )
                 continue
             if state.host_id in self._down:
                 continue
@@ -237,6 +250,13 @@ class TensorLights:
             if needs_tc != state.tc.installed:
                 self._reconfigure(state)
                 touched += 1
+                if watchdog is not None and watchdog.enabled:
+                    watchdog.report(
+                        "tl_reconcile",
+                        f"reconcile fixed tc drift on {state.host_id} "
+                        f"(want installed={needs_tc})",
+                        host=state.host_id, want_installed=needs_tc,
+                    )
         metrics = self.cluster.sim.metrics
         if metrics.enabled and touched:
             metrics.counter("tl_reconcile_actions").inc(touched)

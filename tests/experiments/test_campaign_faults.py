@@ -165,3 +165,153 @@ def test_faulted_scenario_never_served_clean_cache_entry(tmp_path):
     assert warm.results[0].fault_events
     rewarm = Campaign(cache=ResultCache(tmp_path)).run([clean, faulted])
     assert rewarm.cache_hits == 2 and rewarm.executed == 0
+
+
+def test_cache_quarantines_corrupt_entry(tmp_path):
+    """A bit-rotted entry is renamed aside (``.corrupt``), counted, and
+    the scenario re-runs cleanly into the vacated slot."""
+    scenario = Scenario(config=MICRO)
+    cache = ResultCache(tmp_path)
+    campaign = Campaign(cache=cache)
+    first = campaign.run([scenario])
+    entry = next(tmp_path.glob("*.json"))
+    entry.write_text("{ definitely not a result")
+
+    rerun = campaign.run([scenario])
+    assert rerun.cache_hits == 0 and rerun.executed == 1
+    assert cache.corrupt == 1
+    quarantined = list(tmp_path.glob("*.json.corrupt"))
+    assert len(quarantined) == 1
+    assert quarantined[0].read_text().startswith("{ definitely")
+    assert rerun.campaign_metrics["counters"]["campaign_cache_corrupt_total"] == 1
+    # The slot was rebuilt: a third run is a plain hit again.
+    assert campaign.run([scenario]).cache_hits == 1
+    assert rerun.results[0].jcts == first.results[0].jcts
+
+
+def test_cache_truncated_entry_counts_as_miss_and_quarantine(tmp_path):
+    """The non-atomic failure mode (truncation outside our protocol)."""
+    scenario = Scenario(config=MICRO)
+    cache = ResultCache(tmp_path)
+    Campaign(cache=cache).run([scenario])
+    entry = next(tmp_path.glob("*.json"))
+    entry.write_text(entry.read_text()[:40])   # torn mid-file
+    assert cache.get(scenario) is None
+    assert cache.corrupt == 1
+    assert len(cache) == 0                     # .corrupt leaves the namespace
+
+
+# -- portable wall-timeout fallback ------------------------------------------
+
+
+def test_timer_timeout_cuts_glacial_scenario():
+    """The ``threading.Timer`` fallback (no-SIGALRM platforms / non-main
+    threads) enforces the same budget as the signal path."""
+    from repro.experiments.campaign import (
+        _find_timeout,
+        _run_with_timer_timeout,
+    )
+
+    start = time.monotonic()
+    # The injected exception may surface bare or wrapped in the kernel's
+    # ProcessError, depending on which bytecode boundary it lands at —
+    # exactly the chain _guarded_execute unwinds with _find_timeout.
+    with pytest.raises(Exception) as info:
+        _run_with_timer_timeout(Scenario(config=GLACIAL), 1.0, {})
+    assert _find_timeout(info.value) is not None
+    assert time.monotonic() - start < 30.0
+
+
+def test_timer_timeout_returns_result_when_fast_enough():
+    from repro.experiments.campaign import _run_with_timer_timeout
+
+    result = _run_with_timer_timeout(Scenario(config=MICRO), 60.0, {})
+    assert result.makespan > 0
+
+
+def test_wall_timeout_off_main_thread_uses_timer_fallback():
+    """``_run_with_wall_timeout`` must stay enforceable where SIGALRM
+    cannot be armed: any thread that is not the main thread."""
+    from repro.experiments.campaign import _run_with_wall_timeout
+    from repro.experiments.campaign import _find_timeout, _ScenarioTimeout
+
+    box = {}
+
+    def worker():
+        try:
+            _run_with_wall_timeout(Scenario(config=GLACIAL), 1.0)
+        except BaseException as exc:  # noqa: BLE001 - capturing for assert
+            box["exc"] = exc
+
+    t = threading.Thread(target=worker)
+    t.start()
+    t.join(timeout=60.0)
+    assert not t.is_alive()
+    assert _find_timeout(box["exc"]) is not None or isinstance(
+        box["exc"], _ScenarioTimeout
+    )
+
+
+# -- retry policy / backoff ---------------------------------------------------
+
+
+def test_retry_policy_delays():
+    from repro.experiments.campaign import RetryPolicy
+
+    policy = RetryPolicy(max_attempts=4, base_delay=0.5, factor=2.0,
+                         max_delay=1.5)
+    assert policy.delay(0) == 0.0
+    assert policy.delay(1) == 0.5
+    assert policy.delay(2) == 1.0
+    assert policy.delay(3) == 1.5                  # capped
+    assert policy.total_backoff(1) == 0.0          # first attempt: no sleep
+    assert policy.total_backoff(3) == 1.5          # 0.5 + 1.0
+    with pytest.raises(ConfigError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ConfigError):
+        RetryPolicy(base_delay=-1.0)
+    with pytest.raises(ConfigError):
+        RetryPolicy(factor=0.5)
+
+
+def test_retried_crash_pays_backoff_and_counts(monkeypatch):
+    """Kill-always chaos: the quarantined scenario dies on attempt 1,
+    the campaign sleeps the policy's delay, attempt 2 dies too — the
+    write-off and the backoff paid are both visible in the counters.
+    (Only quarantine attempts are charged: the original pool-breaking
+    crash cannot be attributed to a scenario, and innocent survivors of
+    a broken pool must not be billed retries.)"""
+    from repro.experiments.campaign import RetryPolicy
+
+    monkeypatch.setenv(CHAOS_KILL_ENV, "always")
+    doomed = Scenario(config=MICRO.replace(seed=9)).with_tags(chaos="kill")
+    policy = RetryPolicy(max_attempts=2, base_delay=0.2, factor=2.0)
+    campaign = Campaign(executor=ParallelExecutor(max_workers=2),
+                        retry=policy, on_failure="report")
+    start = time.monotonic()
+    res = campaign.run([doomed])
+    elapsed = time.monotonic() - start
+    assert [f.kind for f in res.failures] == ["crashed"]
+    assert res.failures[0].attempts == 2
+    counters = res.campaign_metrics["counters"]
+    assert counters["campaign_retries_total"] == 1
+    assert counters["campaign_backoff_seconds_total"] == pytest.approx(0.2)
+    assert elapsed >= 0.2                          # the backoff was real
+
+
+def test_kill_once_recovery_is_not_billed_a_retry(tmp_path, monkeypatch):
+    """The flip side: a scenario whose worker died once with the pool but
+    whose quarantine run succeeds immediately is charged one attempt and
+    zero retries — retry counters measure charged quarantine attempts."""
+    token = tmp_path / "kill-token"
+    token.write_text("armed")
+    monkeypatch.setenv(CHAOS_KILL_ENV, str(token))
+    doomed = Scenario(config=MICRO.replace(seed=9)).with_tags(chaos="kill")
+    campaign = Campaign(executor=ParallelExecutor(max_workers=2),
+                        max_attempts=2, on_failure="report")
+    res = campaign.run([doomed])
+    assert not res.failures and res.results[0] is not None
+    assert not token.exists()
+    counters = res.campaign_metrics["counters"]
+    assert counters["campaign_retries_total"] == 0
+    assert counters["campaign_backoff_seconds_total"] == 0

@@ -1,0 +1,185 @@
+"""Durable-campaign tests: journaled runs, kill/resume, retry accounting.
+
+The durability contract under test: a campaign killed at ANY point can
+be resumed from its write-ahead journal and finishes with per-scenario
+result content hashes byte-identical to an uninterrupted run — completed
+scenarios served from the cache, only pending ones re-simulated.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import (
+    Campaign,
+    ExperimentConfig,
+    Policy,
+    ResultCache,
+    Scenario,
+)
+from repro.experiments.export import result_content_hash
+from repro.experiments.journal import JOURNAL_SCHEMA, CampaignJournal
+from repro.faults import BurstLoss, FaultPlan, RecoverySpec, Straggler
+from repro.faults.chaos import kill_resume_roundtrip
+
+MICRO = ExperimentConfig.tiny(n_jobs=2, n_workers=2, iterations=3)
+
+#: A deterministic chaos plan: the FaultInjector's audit log must come
+#: out identical whether the scenario ran before or after a resume.
+PLAN = FaultPlan(
+    faults=(
+        BurstLoss(host="h01", at=0.2, loss=0.05, duration=0.5),
+        Straggler(host="h02", at=0.1, slowdown=3.0, duration=0.5),
+    ),
+    recovery=RecoverySpec(barrier_mode="proceed", barrier_timeout=0.5),
+)
+
+
+def _scenarios():
+    return [
+        Scenario(config=MICRO.replace(policy=Policy.FIFO)),
+        Scenario(config=MICRO.replace(policy=Policy.TLS_ONE)),
+        Scenario(config=MICRO.replace(seed=5), faults=PLAN),
+    ]
+
+
+def _hashes(result):
+    return [result_content_hash(r) for r in result.results]
+
+
+def test_journaled_run_then_resume_serves_cache(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    journal_dir = tmp_path / "journals"
+    scenarios = _scenarios()
+
+    fresh = Campaign(cache=cache, journal=True, run_id="run-x",
+                     journal_dir=journal_dir).run(scenarios)
+    assert fresh.run_id == "run-x"
+    assert fresh.executed == 3 and fresh.cache_hits == 0
+
+    # Resume without re-specifying the grid: the journal holds the plan.
+    resumed = Campaign(cache=cache, resume="run-x",
+                       journal_dir=journal_dir).run()
+    assert resumed.executed == 0
+    assert resumed.cache_hits == 3
+    assert _hashes(resumed) == _hashes(fresh)
+
+    state = CampaignJournal.open("run-x", journal_dir).state()
+    assert state.generations == 2
+    assert state.pending() == []
+    # Cumulative attempt accounting survives the resume (still one
+    # execution each; the cached second generation adds no submits).
+    assert set(state.attempts.values()) == {1}
+
+
+def test_resume_after_partial_completion_is_byte_identical(tmp_path):
+    """Emulated mid-campaign kill: journal records one settled outcome,
+    the cache holds that one result; resume executes only the rest."""
+    scenarios = _scenarios()
+    keys = [s.key() for s in scenarios]
+    journal_dir = tmp_path / "journals"
+
+    baseline_cache = ResultCache(tmp_path / "cache-baseline")
+    baseline = Campaign(cache=baseline_cache).run(scenarios)
+
+    # Fabricate the journal a campaign killed after outcome #0 leaves.
+    resume_cache = ResultCache(tmp_path / "cache-resume")
+    resume_cache.put(scenarios[0], baseline.results[0])
+    with CampaignJournal.create(journal_dir, "run-killed") as journal:
+        journal.append({"kind": "campaign_start", "schema": JOURNAL_SCHEMA,
+                        "run_id": "run-killed", "total": 3, "ts": 0.0})
+        for index, scenario in enumerate(scenarios):
+            journal.append({
+                "kind": "scenario", "index": index, "key": keys[index],
+                "label": scenario.label, "scenario": scenario.to_dict(),
+            })
+        journal.append({"kind": "submit", "index": 0, "key": keys[0],
+                        "attempt": 1})
+        journal.append({
+            "kind": "outcome", "index": 0, "key": keys[0], "status": "ok",
+            "cached": False, "attempts": 1,
+            "content_hash": result_content_hash(baseline.results[0]),
+        })
+
+    resumed = Campaign(cache=resume_cache, resume="run-killed",
+                       journal_dir=journal_dir).run()
+    assert resumed.cache_hits == 1                # the settled outcome
+    assert resumed.executed == 2                  # only the pending rest
+    assert _hashes(resumed) == _hashes(baseline)
+
+    # FaultInjector determinism across resume: the chaos scenario re-ran
+    # in the resumed generation, yet its audit log is event-for-event
+    # identical to the uninterrupted run's.
+    assert resumed.results[2].fault_events == baseline.results[2].fault_events
+    assert resumed.results[2].fault_events      # the plan actually fired
+
+
+def test_resume_tolerates_torn_journal_tail(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    journal_dir = tmp_path / "journals"
+    scenarios = _scenarios()[:1]
+    Campaign(cache=cache, journal=True, run_id="run-torn",
+             journal_dir=journal_dir).run(scenarios)
+    with open(journal_dir / "run-torn.jsonl", "a") as fh:
+        fh.write('{"kind": "outcome", "ind')      # killed mid-append
+
+    resumed = Campaign(cache=cache, resume="run-torn",
+                       journal_dir=journal_dir).run()
+    assert resumed.cache_hits == 1 and not resumed.failures
+
+
+def test_resume_requires_cache_and_scenarios_or_journal(tmp_path):
+    with pytest.raises(ConfigError, match="resume requires a ResultCache"):
+        Campaign(resume="run-x")
+    with pytest.raises(ConfigError, match="needs scenarios"):
+        Campaign().run()
+
+
+def test_journal_records_worker_blame_and_hashes(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    journal_dir = tmp_path / "journals"
+    scenarios = _scenarios()[:2]
+    result = Campaign(cache=cache, journal=True, run_id="run-blame",
+                      journal_dir=journal_dir).run(scenarios)
+    state = CampaignJournal.open("run-blame", journal_dir).state()
+    for index, scenario in enumerate(scenarios):
+        outcome = state.outcomes[scenario.key()]
+        assert outcome["status"] == "ok"
+        assert outcome["worker"] is not None      # pid blame
+        assert outcome["content_hash"] == result_content_hash(
+            result.results[index]
+        )
+
+
+def test_campaign_metrics_exported_with_result(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    scenarios = _scenarios()[:2]
+    result = Campaign(cache=cache).run(scenarios)
+    counters = result.campaign_metrics["counters"]
+    assert counters["campaign_scenarios_total{status=ok}"] == 2
+    assert counters["campaign_retries_total"] == 0
+    assert counters["campaign_backoff_seconds_total"] == 0
+    assert counters["campaign_cache_corrupt_total"] == 0
+    # Second run: everything cached, hits counted.
+    again = Campaign(cache=cache).run(scenarios)
+    assert again.campaign_metrics["counters"]["campaign_cache_hits_total"] == 2
+
+
+@pytest.mark.slow
+def test_chaos_kill_resume_roundtrip_byte_identical(tmp_path):
+    """The acceptance scenario, end to end over the real CLI: arm
+    ``REPRO_CHAOS_KILL=campaign-after:2``, hard-kill the campaign
+    process, resume from the journal, and demand hashes byte-identical
+    to an uninterrupted fresh-cache baseline."""
+    trip = kill_resume_roundtrip(
+        str(tmp_path), kill_after=2, run_id="chaos-test",
+        campaign_args=["--placements", "1",
+                       "--policies", "fifo", "tls-one", "tls-rr",
+                       "--jobs", "2", "--workers", "2", "--iterations", "3"],
+    )
+    assert trip.kill_returncode == 29
+    assert len(trip.interrupted_hashes) == 3
+    assert trip.identical(), "\n".join(trip.diff())
+    # The resume served the two pre-kill outcomes from the cache.
+    assert "cached" in trip.resume_log

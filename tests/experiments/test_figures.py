@@ -105,7 +105,11 @@ def test_utilization_collect_metrics_keys_snapshots_by_scenario():
     result = utilization.generate(
         TINY.replace(sample_interval=0.05), collect_metrics=True
     )
-    assert len(result.snapshots) == 3  # one per policy, distinct hashes
+    # one per policy (distinct hashes) plus the campaign-level snapshot
+    assert len(result.snapshots) == 4
+    assert "campaign" in result.snapshots
+    campaign = result.snapshots.pop("campaign")
+    assert campaign["counters"]["campaign_scenarios_total{status=ok}"] == 3.0
     for snap in result.snapshots.values():
         assert set(snap) == {"counters", "gauges", "histograms"}
         assert snap["counters"]  # the hot paths actually reported

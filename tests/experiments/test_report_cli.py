@@ -172,7 +172,9 @@ def test_cli_utilization(tmp_path, capsys):
     lines = out.read_text().splitlines()
     assert lines
     scenarios = {json.loads(line)["scenario"] for line in lines}
-    assert len(scenarios) == 3  # one snapshot per policy
+    # one snapshot per policy plus the campaign-level line
+    assert "campaign" in scenarios
+    assert len(scenarios) == 4
 
 
 def test_cli_run_drr_policy(capsys):
