@@ -1,0 +1,34 @@
+"""Placement subsystem: fingerprint profiling cost and the co-design matrix."""
+
+from conftest import run_once
+
+from repro.experiments.figures import codesign
+from repro.placement import FingerprintStore, profile_job_shape
+from repro.experiments.config import ExperimentConfig
+
+
+def test_fingerprint_profiling(benchmark):
+    # The per-shape cost a smart placement pays once: a 6-iteration solo
+    # run plus telemetry reads.  It must stay far below one real cell of
+    # the study it feeds (a contended multi-job run).
+    cfg = ExperimentConfig.tiny()
+    fp = run_once(benchmark, lambda: profile_job_shape(cfg))
+    print()
+    print(f"period={fp.iteration_period:.4f}s duty={fp.comm_duty_cycle:.3f} "
+          f"bytes/iter={fp.bytes_per_iteration:.0f}")
+    assert fp.iteration_period > 0
+    assert 0.0 <= fp.comm_duty_cycle <= 1.0
+
+
+def test_codesign_matrix(benchmark, bench_campaign):
+    FingerprintStore.default().clear()
+    report = run_once(
+        benchmark,
+        lambda: codesign.generate(quick=True, campaign=bench_campaign),
+    )
+    print()
+    print(report.render())
+    # One shape in the quick matrix -> at most one profiling run in this
+    # process (zero if a shared fingerprint dir is already warm).
+    assert FingerprintStore.default().misses <= 1
+    assert report.direction_ok()

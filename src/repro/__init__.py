@@ -45,7 +45,7 @@ from repro.experiments import (
 from repro.sim import Simulator
 from repro.tensorlights import TensorLights, TLMode
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Campaign",

@@ -55,6 +55,16 @@ from repro.experiments.study import (
 )
 from repro.experiments.workloads import WorkloadSpec
 from repro.faults.plan import FaultPlan
+from repro.placement import (
+    FingerprintStore,
+    JobFingerprint,
+    PlacementContext,
+    PlacementJob,
+    PlacementPolicy,
+    get_placement_policy,
+    profile_job_shape,
+    register_placement_policy,
+)
 from repro.sim.watchdog import Watchdog, WatchdogViolation
 from repro.telemetry import (
     ActiveWindow,
@@ -78,12 +88,17 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
     "FaultPlan",
+    "FingerprintStore",
     "HostSamples",
     "ImpactReport",
+    "JobFingerprint",
     "JournalError",
     "JournalState",
     "MetricsRegistry",
     "ParallelExecutor",
+    "PlacementContext",
+    "PlacementJob",
+    "PlacementPolicy",
     "Policy",
     "ResultCache",
     "RetryPolicy",
@@ -98,10 +113,13 @@ __all__ = [
     "execute_scenario",
     "get_build_hook",
     "get_component",
+    "get_placement_policy",
     "list_runs",
     "materialize",
+    "profile_job_shape",
     "register_build_hook",
     "register_component",
+    "register_placement_policy",
     "run_study",
     "scenario_grid",
     "scrape_cluster",

@@ -290,10 +290,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--csv", type=str, default=None, metavar="PATH",
                    help="also write the impact table as CSV to PATH")
 
+    p = sub.add_parser(
+        "codesign",
+        help="placement x TensorLights co-design matrix: contention-aware "
+             "placement policies vs end-host scheduling, one campaign, "
+             "paired bootstrap CIs",
+    )
+    _add_common(p)
+    _add_campaign(p)
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke scale: contended miniature, two "
+                        "placements, two seeds")
+    p.add_argument("--placement-policies", nargs="+", default=None,
+                   metavar="NAME",
+                   help="placement-policy axis; must include 'oblivious' "
+                        "and a smart policy (see docs/placement.md)")
+    p.add_argument("--policies", nargs="+",
+                   choices=[pol.value for pol in Policy], default=None,
+                   help="scheduling-policy axis (default: fifo tls-one "
+                        "tls-rr)")
+    p.add_argument("--seeds", type=int, nargs="+", default=None,
+                   help="seed sweep (needs >= 2 for the paired bootstrap)")
+    p.add_argument("--csv", type=str, default=None, metavar="PATH",
+                   help="also write the matrix as CSV to PATH")
+
     p = sub.add_parser("run", help="run one raw experiment")
     _add_common(p)
     _add_campaign(p)
     p.add_argument("--placement", type=int, default=1, help="Table I index")
+    p.add_argument("--placement-policy", type=str, default="oblivious",
+                   metavar="NAME",
+                   help="placement policy (see `repro.placement`); "
+                        "non-oblivious policies ignore --placement")
     p.add_argument("--policy", choices=[pol.value for pol in Policy],
                    default="fifo")
     p.add_argument("--export", choices=["json", "csv"], default=None,
@@ -445,8 +473,33 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"wrote impact table to {args.csv}")
         return 0
 
+    if args.command == "codesign":
+        from repro.experiments.figures import codesign
+
+        report = codesign.generate(
+            base=None if args.quick else cfg,
+            quick=args.quick,
+            placements=args.placement_policies,
+            policies=(tuple(Policy(p) for p in args.policies)
+                      if args.policies else None),
+            seeds=tuple(args.seeds) if args.seeds else None,
+            campaign=_campaign(args),
+        )
+        print(report.render())
+        print(f"({report.executed} executed, {report.cache_hits} cached, "
+              f"{report.fingerprint_misses} shapes profiled, "
+              f"{report.wall_seconds:.1f}s)")
+        if args.csv:
+            with open(args.csv, "w") as fh:
+                fh.write(report.to_csv())
+            print(f"wrote co-design matrix to {args.csv}")
+        # The exit code IS the co-design check: combining the axes must
+        # not fall below the weaker single-axis fix.
+        return 0 if report.direction_ok() else 1
+
     if args.command == "run":
         cfg = cfg.replace(placement_index=args.placement,
+                          placement_policy=args.placement_policy,
                           policy=Policy(args.policy))
         res = _campaign(args).run_one(Scenario(config=cfg))
         if args.export is not None:
@@ -460,7 +513,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             else:
                 print(text)
             return 0
-        print(f"placement #{args.placement} policy={args.policy}")
+        if args.placement_policy == "oblivious":
+            print(f"placement #{args.placement} policy={args.policy}")
+        else:
+            print(f"placement {args.placement_policy} policy={args.policy}")
         print(f"  avg JCT   : {res.avg_jct:.3f} s")
         print(f"  makespan  : {res.makespan:.3f} s")
         print(f"  barrier wait mean     : {res.barrier_wait_means().mean():.4f} s")

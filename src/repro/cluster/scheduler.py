@@ -54,6 +54,11 @@ class ClusterScheduler:
         # load accounting: total tasks and PS tasks per host
         self.task_load: Dict[str, int] = {h: 0 for h in self.host_ids}
         self.ps_load: Dict[str, int] = {h: 0 for h in self.host_ids}
+        # stable tie-break rank: position in the caller's host order.
+        # Sorting ties by the id *string* is deterministic but surprising
+        # once ids stop sorting numerically ("h100" < "h11"); the rank
+        # keeps equal-load ties in cluster order at any scale.
+        self._rank: Dict[str, int] = {h: i for i, h in enumerate(self.host_ids)}
 
     # -- PS host selection ------------------------------------------------
 
@@ -67,6 +72,25 @@ class ClusterScheduler:
         hosts = []
         for job_idx in range(spec.n_jobs):
             host = self.host_ids[spec.ps_host_of_job(job_idx)]
+            hosts.append(host)
+            self._account_ps(host)
+        return hosts
+
+    def ps_hosts_for_assignment(self, assignment: Sequence[int]) -> List[str]:
+        """PS host id per job for a placement-policy host-index assignment.
+
+        ``assignment[j]`` is an index into ``host_ids`` (the form
+        :meth:`repro.placement.policies.PlacementPolicy.assign` returns);
+        loads are accounted exactly as for an explicit placement.
+        """
+        hosts = []
+        for job_idx, host_idx in enumerate(assignment):
+            if not 0 <= host_idx < len(self.host_ids):
+                raise PlacementError(
+                    f"assignment for job {job_idx} names host index "
+                    f"{host_idx}, cluster has {len(self.host_ids)} hosts"
+                )
+            host = self.host_ids[host_idx]
             hosts.append(host)
             self._account_ps(host)
         return hosts
@@ -88,9 +112,11 @@ class ClusterScheduler:
             # in id order, moving on only grows load unboundedly — pack
             # simply always picks the first host.
         elif self.policy == SchedulingPolicy.SPREAD:
-            host = min(self.host_ids, key=lambda h: (self.task_load[h], h))
+            host = min(self.host_ids,
+                       key=lambda h: (self.task_load[h], self._rank[h]))
         elif self.policy == SchedulingPolicy.PS_AWARE:
-            host = min(self.host_ids, key=lambda h: (self.ps_load[h], h))
+            host = min(self.host_ids,
+                       key=lambda h: (self.ps_load[h], self._rank[h]))
         else:  # pragma: no cover - enum is exhaustive
             raise PlacementError(f"unknown policy {self.policy}")
         self._account_ps(host)
@@ -134,7 +160,8 @@ class ClusterScheduler:
                 f"ring of {n_members} members needs {n_members} distinct "
                 f"hosts, cluster has {len(self.host_ids)}"
             )
-        chosen = sorted(self.host_ids, key=lambda h: (self.task_load[h], h))
+        chosen = sorted(self.host_ids,
+                        key=lambda h: (self.task_load[h], self._rank[h]))
         chosen = chosen[:n_members]
         for h in chosen:
             self.task_load[h] += 1

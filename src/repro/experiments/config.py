@@ -84,6 +84,10 @@ class ExperimentConfig:
 
     # placement
     placement_index: int = 1        # Table I index
+    #: PS placement policy (``repro.placement.policies`` registry name).
+    #: ``"oblivious"`` reproduces the Table I placement byte-identically;
+    #: other policies derive host assignments from job fingerprints.
+    placement_policy: str = "oblivious"
 
     # infrastructure
     link_gbps: float = 10.0
@@ -135,6 +139,10 @@ class ExperimentConfig:
             raise ConfigError("netem_loss must be in [0, 1)")
         if self.netem_delay < 0 or self.netem_jitter < 0:
             raise ConfigError("netem delay/jitter must be >= 0")
+        # lazy import: repro.placement depends on this module
+        from repro.placement.policies import get_placement_policy
+
+        get_placement_policy(self.placement_policy)  # raises if unknown
         if not 0.0 < self.allreduce_fraction <= 1.0:
             raise ConfigError("allreduce_fraction must be in (0, 1]")
         if self.allreduce_channels < 1:
@@ -156,6 +164,12 @@ class ExperimentConfig:
                 raise ConfigError(
                     "the DRR ablation targets contended PS hosts; use the "
                     "ps architecture"
+                )
+            if self.placement_policy != "oblivious":
+                raise ConfigError(
+                    "placement policies assign PS hosts; the "
+                    f"{Architecture(self.architecture).value} architecture "
+                    "places rings with the spread scheduler"
                 )
             if self.netem_loss > 0 or self.netem_delay > 0:
                 raise ConfigError(

@@ -329,7 +329,7 @@ def materialize(
         on_cluster(cluster)
     arch = Architecture(config.architecture)
     explicit_ps_hosts: List[str] = []
-    if arch == Architecture.PS:
+    if arch == Architecture.PS and config.placement_policy == "oblivious":
         spec = scenario.placement if scenario.placement is not None else config.placement()
         if spec.n_jobs != config.n_jobs:
             raise ConfigError(
@@ -337,6 +337,44 @@ def materialize(
             )
         scheduler = ClusterScheduler(cluster.host_ids)
         explicit_ps_hosts = scheduler.ps_hosts_for_placement(spec)
+    elif arch == Architecture.PS:
+        # Contention-aware placement: resolve the policy, fingerprint the
+        # job shape if the policy wants one (profiled once per shape via
+        # the process store), and turn the policy's host indices into PS
+        # hosts.  Fingerprints are a deterministic function of the shape,
+        # so the assignment — and the run — stays content-addressable.
+        from repro.placement.policies import (
+            PlacementContext,
+            PlacementJob,
+            get_placement_policy,
+        )
+        from repro.placement.store import FingerprintStore
+
+        placement_policy = get_placement_policy(config.placement_policy)
+        fingerprint = (
+            FingerprintStore.default().get_or_profile(config)
+            if placement_policy.needs_fingerprints else None
+        )
+        ctx = PlacementContext(
+            host_ids=tuple(cluster.host_ids),
+            jobs=tuple(
+                PlacementJob(
+                    index=j,
+                    arrival_time=j * config.launch_stagger,
+                    fingerprint=fingerprint,
+                )
+                for j in range(config.n_jobs)
+            ),
+            baseline=config.placement(),
+        )
+        assignment = placement_policy.assign(ctx)
+        if len(assignment) != config.n_jobs:
+            raise ConfigError(
+                f"policy {placement_policy.name!r} assigned "
+                f"{len(assignment)} jobs, config has {config.n_jobs}"
+            )
+        scheduler = ClusterScheduler(cluster.host_ids)
+        explicit_ps_hosts = scheduler.ps_hosts_for_assignment(assignment)
     else:
         # Ring architectures have no Table I analogue: members (and any
         # mixed-in PS jobs) are placed by the load-balancing scheduler.

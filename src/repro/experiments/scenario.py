@@ -33,7 +33,10 @@ from repro.faults.plan import FaultPlan, plan_from_dict
 #: 3: configs gained the training architecture (PS / all-reduce / mixed).
 #: 4: scenarios gained declarative build hooks (and results a
 #:    ``tc_reconfigurations`` counter).
-SCENARIO_SCHEMA = 4
+#: 5: configs gained ``placement_policy`` (contention-aware PS placement);
+#:    the field is dropped from ``config_to_dict`` at its default so
+#:    oblivious content keys — and pinned result hashes — are unchanged.
+SCENARIO_SCHEMA = 5
 
 #: JSON-safe scalar types a build-hook parameter may carry.  Hooks are
 #: part of the scenario content key, so their parameters must serialize
@@ -46,10 +49,18 @@ HookSpec = Tuple[str, Tuple[Tuple[str, Any], ...]]
 
 
 def config_to_dict(config: ExperimentConfig) -> Dict[str, Any]:
-    """A JSON-safe dict of every config field (enums as their values)."""
+    """A JSON-safe dict of a config's fields (enums as their values).
+
+    ``placement_policy`` is omitted at its default (``"oblivious"``) so
+    that configs predating the field keep their content keys — and their
+    pinned result hashes — byte-identical.  :func:`config_from_dict`
+    restores the default for the missing key.
+    """
     out = dataclasses.asdict(config)
     out["policy"] = config.policy.value
     out["architecture"] = Architecture(config.architecture).value
+    if out.get("placement_policy") == "oblivious":
+        del out["placement_policy"]
     return out
 
 
@@ -136,6 +147,12 @@ class Scenario:
             raise ConfigError(
                 f"placement covers {self.placement.n_jobs} jobs, "
                 f"config has {self.config.n_jobs}"
+            )
+        if self.placement is not None and self.config.placement_policy != "oblivious":
+            raise ConfigError(
+                "a placement override pins PS hosts explicitly; it cannot "
+                f"combine with placement_policy="
+                f"{self.config.placement_policy!r}"
             )
         if self.config.architecture != Architecture.PS:
             if self.placement is not None:

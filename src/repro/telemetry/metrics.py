@@ -120,6 +120,33 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``q`` in ``[0, 1]``) from buckets.
+
+        Linear interpolation within the bucket containing the target
+        rank, Prometheus ``histogram_quantile`` style, clamped to the
+        observed ``[min, max]`` so log-spaced buckets cannot produce an
+        estimate outside the data.  Ranks landing in the implicit
+        ``+Inf`` bucket return ``max``; an empty histogram returns 0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError(f"percentile q must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        if target <= 0:
+            return self.min
+        prev_cum = 0
+        lower = self.min
+        for bound, cum in zip(self.buckets, self.bucket_counts):
+            if cum >= target:
+                frac = (target - prev_cum) / (cum - prev_cum)
+                est = lower + frac * (bound - lower)
+                return min(max(est, self.min), self.max)
+            prev_cum = cum
+            lower = bound
+        return self.max
+
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
             "count": self.count,

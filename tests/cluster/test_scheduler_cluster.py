@@ -150,3 +150,37 @@ def test_spread_policy_accounts_for_worker_load():
     sched = ClusterScheduler(HOSTS, policy=SchedulingPolicy.SPREAD)
     sched.worker_hosts("h04", 4)  # loads h00..h03
     assert sched.pick_ps_host() == "h04"  # the only unloaded host
+
+
+def test_equal_load_ties_break_in_cluster_order_beyond_99_hosts():
+    # "h100" < "h11" lexicographically; the tie-break must follow the
+    # cluster's host order, not string sort, at any scale.
+    many = [f"h{i}" for i in range(120)]
+    sched = ClusterScheduler(many, policy=SchedulingPolicy.SPREAD)
+    picks = [sched.pick_ps_host() for _ in range(120)]
+    assert picks == many
+    ring = ClusterScheduler(many).ring_hosts(115)
+    assert ring == many[:115]
+
+
+def test_ps_aware_ties_break_in_cluster_order():
+    # Caller-declared host order is authoritative even when it is not
+    # the sorted order.
+    sched = ClusterScheduler(["b", "a", "c"], policy=SchedulingPolicy.PS_AWARE)
+    assert [sched.pick_ps_host() for _ in range(3)] == ["b", "a", "c"]
+
+
+def test_ps_hosts_for_assignment_maps_indices_and_accounts_load():
+    sched = ClusterScheduler(HOSTS)
+    hosts = sched.ps_hosts_for_assignment([0, 0, 3, 1])
+    assert hosts == ["h00", "h00", "h03", "h01"]
+    assert sched.colocation_profile() == [1, 1, 2]
+    assert sched.task_load["h00"] == 2
+
+
+def test_ps_hosts_for_assignment_rejects_bad_indices():
+    sched = ClusterScheduler(HOSTS)
+    with pytest.raises(PlacementError):
+        sched.ps_hosts_for_assignment([0, 5])
+    with pytest.raises(PlacementError):
+        sched.ps_hosts_for_assignment([-1])

@@ -1,0 +1,168 @@
+"""Placement policies: assignments, determinism, registry semantics."""
+
+import pytest
+
+from repro.cluster.placement import placement_by_index
+from repro.errors import ConfigError, PlacementError
+from repro.placement import (
+    JobFingerprint,
+    PlacementContext,
+    PlacementJob,
+    PlacementPolicy,
+    all_placement_policies,
+    get_placement_policy,
+    register_placement_policy,
+)
+from repro.placement.policies import _arc_overlap
+
+HOSTS = tuple(f"h{i:02d}" for i in range(5))
+
+
+def _fp(period=1.0, duty=0.3, phase=0.0, key="shape"):
+    return JobFingerprint(shape_key=key, iteration_period=period,
+                          comm_duty_cycle=duty, bytes_per_iteration=1e6,
+                          phase_offset=phase, barrier_wait_p50=duty * period,
+                          profile_iterations=6)
+
+
+def _ctx(n_jobs, fingerprint=None, baseline=None, stagger=0.0, hosts=HOSTS):
+    return PlacementContext(
+        host_ids=hosts,
+        jobs=tuple(
+            PlacementJob(index=j, arrival_time=j * stagger,
+                         fingerprint=fingerprint)
+            for j in range(n_jobs)
+        ),
+        baseline=baseline,
+    )
+
+
+# ----------------------------------------------------------------- oblivious
+
+
+def test_oblivious_reproduces_the_baseline_spec():
+    spec = placement_by_index(2, n_jobs=6)  # two groups
+    ctx = _ctx(6, baseline=spec)
+    assignment = get_placement_policy("oblivious").assign(ctx)
+    assert assignment == [spec.ps_host_of_job(j) for j in range(6)]
+
+
+def test_oblivious_requires_a_baseline():
+    with pytest.raises(PlacementError):
+        get_placement_policy("oblivious").assign(_ctx(3))
+
+
+# ----------------------------------------------------------- least-contended
+
+
+def test_least_contended_spreads_identical_jobs():
+    ctx = _ctx(5, fingerprint=_fp())
+    assignment = get_placement_policy("least-contended").assign(ctx)
+    assert assignment == [0, 1, 2, 3, 4]
+
+
+def test_least_contended_packs_light_jobs_before_splitting_heavy():
+    heavy = _fp(duty=0.9, key="heavy")
+    light = _fp(duty=0.1, key="light")
+    jobs = tuple(
+        PlacementJob(index=j, arrival_time=0.0, fingerprint=fp)
+        for j, fp in enumerate((heavy, heavy, light, light))
+    )
+    ctx = PlacementContext(host_ids=("a", "b"), jobs=jobs)
+    assignment = get_placement_policy("least-contended").assign(ctx)
+    # hosts end at 1.0 duty each: each heavy job pairs with a light one
+    assert assignment == [0, 1, 0, 1]
+
+
+def test_fingerprint_policies_demand_fingerprints():
+    for name in ("least-contended", "phase-interleave"):
+        with pytest.raises(PlacementError):
+            get_placement_policy(name).assign(_ctx(3))
+
+
+# ----------------------------------------------------------- phase-interleave
+
+
+def test_arc_overlap_on_the_circle():
+    assert _arc_overlap(0.0, 0.5, 0.25, 0.5, 1.0) == pytest.approx(0.25)
+    assert _arc_overlap(0.0, 0.3, 0.5, 0.3, 1.0) == pytest.approx(0.0)
+    # wrap-around: [0.8, 1.1) overlaps [0.0, 0.2) by 0.1
+    assert _arc_overlap(0.8, 0.3, 0.0, 0.2, 1.0) == pytest.approx(0.1)
+    # identical full-period arcs overlap completely
+    assert _arc_overlap(0.2, 1.0, 0.7, 1.0, 1.0) == pytest.approx(1.0)
+
+
+def test_phase_interleave_separates_in_phase_jobs():
+    # Jobs land in phase with each other (stagger = period), six jobs on
+    # five hosts: exactly one host gets a colocated pair.
+    ctx = _ctx(6, fingerprint=_fp(period=1.0, duty=0.4), stagger=1.0)
+    assignment = get_placement_policy("phase-interleave").assign(ctx)
+    counts = {h: assignment.count(h) for h in set(assignment)}
+    assert sorted(counts.values()) == [1, 1, 1, 1, 2]
+
+
+def test_phase_interleave_colocates_anti_phase_jobs_cheaply():
+    # Half-period stagger: consecutive jobs are perfectly anti-phased
+    # (duty 0.5 fills exactly half the circle), so colocation costs no
+    # predicted overlap and the total stays 0 even with 2 hosts.
+    fp = _fp(period=1.0, duty=0.5)
+    ctx = _ctx(4, fingerprint=fp, stagger=0.5, hosts=("a", "b"))
+    policy = get_placement_policy("phase-interleave")
+    assignment = policy.assign(ctx)
+    total, _ = policy._greedy(ctx, [0, 1])
+    assert total == pytest.approx(0.0)
+    assert len(assignment) == 4
+
+
+def test_policies_are_deterministic():
+    for name in all_placement_policies():
+        if name == "oblivious":
+            ctx = _ctx(6, baseline=placement_by_index(1, n_jobs=6))
+        else:
+            ctx = _ctx(6, fingerprint=_fp(), stagger=0.1)
+        policy = get_placement_policy(name)
+        assert policy.assign(ctx) == policy.assign(ctx)
+
+
+# ---------------------------------------------------------------- greedy-pack
+
+
+def test_greedy_pack_fills_the_first_host():
+    ctx = _ctx(4)
+    assert get_placement_policy("greedy-pack").assign(ctx) == [0, 0, 0, 0]
+
+
+# ------------------------------------------------------------------ registry
+
+
+def test_registry_lists_the_builtins():
+    assert set(all_placement_policies()) >= {
+        "oblivious", "least-contended", "phase-interleave", "greedy-pack",
+    }
+
+
+def test_unknown_policy_raises():
+    with pytest.raises(ConfigError):
+        get_placement_policy("does-not-exist")
+
+
+def test_register_rejects_unnamed_and_conflicting():
+    class Unnamed(PlacementPolicy):
+        """A policy that forgot its name."""
+
+    with pytest.raises(ConfigError):
+        register_placement_policy(Unnamed)
+
+    class Imposter(PlacementPolicy):
+        """Claims an existing name with different semantics."""
+
+        name = "greedy-pack"
+
+    with pytest.raises(ConfigError):
+        register_placement_policy(Imposter)
+
+
+def test_register_is_idempotent_for_the_same_class():
+    from repro.placement.policies import GreedyPackPolicy
+
+    assert register_placement_policy(GreedyPackPolicy) is GreedyPackPolicy

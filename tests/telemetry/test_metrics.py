@@ -56,6 +56,46 @@ def test_empty_histogram_mean_is_zero():
     assert "min" not in h.to_dict()
 
 
+def test_histogram_percentile_interpolates_within_bucket():
+    h = Histogram("h", (), buckets=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.5, 1.5, 3.0):
+        h.observe(v)
+    # target rank 2 of 4 lands at the (1, 2] bucket's cumulative count:
+    # interpolate from the previous bound toward 2.0
+    p50 = h.percentile(0.5)
+    assert 1.0 <= p50 <= 2.0
+    # q=1 saturates every bucket -> the observed max, not a bucket bound
+    assert h.percentile(1.0) == 3.0
+    assert h.percentile(0.0) == 0.5
+
+
+def test_histogram_percentile_clamps_to_observed_range():
+    # One observation deep inside a wide bucket: interpolation alone
+    # would answer a bucket-edge estimate; the clamp pins it to the data.
+    h = Histogram("h", (), buckets=(100.0,))
+    h.observe(7.0)
+    assert h.percentile(0.5) == 7.0
+    assert h.percentile(0.99) == 7.0
+
+
+def test_histogram_percentile_inf_bucket_returns_max():
+    h = Histogram("h", (), buckets=(1.0,))
+    for v in (0.5, 50.0, 60.0):
+        h.observe(v)
+    # ranks beyond the last bound live in +Inf -> the observed max
+    assert h.percentile(0.9) == 60.0
+
+
+def test_histogram_percentile_empty_and_bad_q():
+    h = Histogram("h", ())
+    assert h.percentile(0.5) == 0.0
+    h.observe(1.0)
+    with pytest.raises(ConfigError):
+        h.percentile(1.5)
+    with pytest.raises(ConfigError):
+        h.percentile(-0.1)
+
+
 # ---------------------------------------------------------------- registry
 
 
