@@ -24,12 +24,18 @@ import argparse
 import json
 import time
 
+from repro.cluster.cluster import Cluster
 from repro.cluster.cpu import ProcessorSharingCPU
+from repro.dl.application import DLApplication
+from repro.dl.job import JobSpec
+from repro.dl.model_zoo import ModelSpec
 from repro.experiments.config import Architecture, ExperimentConfig, Policy
 from repro.experiments.runtime import execute_scenario
 from repro.experiments.scenario import Scenario
+from repro.net.link import Link
 from repro.net.qdisc import HTBQdisc, PFifo, PortFilter
 from repro.sim import Simulator, Timeout
+from repro.units import gbps
 
 import sys
 sys.path.insert(0, ".")  # conftest sibling import under pytest rootdir
@@ -49,6 +55,54 @@ def _bench_scenarios(iterations: int) -> dict[str, ExperimentConfig]:
             iterations=iterations, n_jobs=8, n_workers=8,
             architecture=Architecture.ALLREDUCE,
         ),
+    }
+
+
+def run_big_demo(n_hosts: int = 500, n_jobs: int = 1000) -> dict:
+    """Scale demo: 500 hosts x 1000 small PS jobs on one fabric.
+
+    This is far beyond the paper's 21-host testbed — the point is that
+    the flow-level fast path makes a cluster-scale what-if run finish in
+    seconds instead of minutes.  The experiment configs cannot express
+    it (``ExperimentConfig`` is embedded in hashed results, so it grows
+    no fields), so the cluster and jobs are built directly.
+    """
+    sim = Simulator(seed=1)
+    cluster = Cluster(
+        sim, n_hosts=n_hosts, cores_per_host=8, link=Link(rate=gbps(10)),
+        segment_bytes=256 * 1024, switch_buffer_bytes=4e6,
+        fast_path=True,
+    )
+    # tiny synthetic model: ~1 MB updates, 10 ms/step of compute
+    model = ModelSpec("bench_demo", n_params=250_000,
+                      per_sample_compute=0.005, ps_update_compute=0.0005)
+    hosts = cluster.host_ids
+    apps = []
+    for j in range(n_jobs):
+        spec = JobSpec(
+            job_id=f"job{j:04d}", model=model, n_workers=2,
+            local_batch_size=2, target_global_steps=8,
+            arrival_time=(j % 50) * 0.01,
+        )
+        ps_host = hosts[j % n_hosts]
+        workers = [hosts[(j + 1 + k) % n_hosts] for k in range(spec.n_workers)]
+        apps.append(DLApplication(spec, cluster, ps_host, workers))
+    for app in apps:
+        app.launch()
+    t0 = time.perf_counter()
+    sim.run()
+    dt = time.perf_counter() - t0
+    assert all(app.metrics.finished for app in apps), (
+        "big demo: not every job completed"
+    )
+    return {
+        "n_hosts": n_hosts,
+        "n_jobs": n_jobs,
+        "sim_events": sim.steps_executed,
+        "events_elided": sim.events_elided,
+        "sim_seconds": round(sim.now, 4),
+        "wall_seconds": round(dt, 4),
+        "events_per_sec": round(sim.steps_executed / dt),
     }
 
 
@@ -119,6 +173,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-regression", type=float, default=0.20,
                         help="allowed events/sec drop vs baseline "
                              "(default: %(default)s)")
+    parser.add_argument("--big", action="store_true",
+                        help="also run the 500-host / 1000-job scale demo")
+    parser.add_argument("--big-budget", type=float, default=60.0,
+                        help="wall-clock budget for --big in seconds; "
+                             "exceeding it fails (default: %(default)s)")
     args = parser.parse_args(argv)
 
     report = run_speed_suite(quick=args.quick)
@@ -126,23 +185,56 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{name:20s} {entry['events_per_sec']:>12,} ev/s "
               f"({entry['sim_events']:,} events, best of {report['best_of']})")
 
+    over_budget = False
+    if args.big:
+        big = run_big_demo()
+        report["big_demo"] = big
+        print(f"{'big_demo_500x1000':20s} {big['events_per_sec']:>12,} ev/s "
+              f"({big['sim_events']:,} events, {big['wall_seconds']}s wall, "
+              f"{big['events_elided']:,} elided)")
+        if big["wall_seconds"] > args.big_budget:
+            print(f"BUDGET EXCEEDED: big demo took {big['wall_seconds']}s "
+                  f"(budget {args.big_budget}s)")
+            over_budget = True
+
+    failures: list[str] = []
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        failures = check_regression(report, baseline, args.max_regression)
+        # before/after comparison, embedded in the report so CI can
+        # upload the single JSON as the comparison artifact
+        report["comparison"] = {
+            "baseline_file": args.baseline,
+            "max_regression": args.max_regression,
+            "scenarios": {
+                name: {
+                    "baseline_events_per_sec": entry["events_per_sec"],
+                    "measured_events_per_sec":
+                        report["scenarios"][name]["events_per_sec"],
+                    "speedup": round(
+                        report["scenarios"][name]["events_per_sec"]
+                        / entry["events_per_sec"], 3),
+                }
+                for name, entry in baseline.get("scenarios", {}).items()
+                if name in report["scenarios"]
+            },
+        }
+
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"wrote {args.output}")
 
+    if failures:
+        print("PERFORMANCE REGRESSION:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
     if args.baseline:
-        with open(args.baseline) as fh:
-            baseline = json.load(fh)
-        failures = check_regression(report, baseline, args.max_regression)
-        if failures:
-            print("PERFORMANCE REGRESSION:")
-            for line in failures:
-                print(f"  {line}")
-            return 1
         print(f"no regression vs {args.baseline} "
               f"(tolerance {args.max_regression:.0%})")
-    return 0
+    return 1 if over_budget else 0
 
 
 def test_event_loop_throughput(benchmark):

@@ -103,29 +103,43 @@ class ProcessorSharingCPU:
         now = self.sim.now
         dt = now - self._last_update
         self._last_update = now
-        if dt <= 0 or not self._jobs:
+        jobs = self._jobs
+        if dt <= 0 or not jobs:
             return
-        rate = self.rate_per_job
+        # rate_per_job inlined (same float expression; this runs on every
+        # CPU completion and submission).
+        n = len(jobs)
+        rate = min(1.0, self.cores / n) * self.speed
         done = dt * rate
-        finished = []
-        for job in self._jobs.values():
+        finished = None
+        for job in jobs.values():
             job.remaining -= done
             if job.remaining <= 1e-12:
-                finished.append(job)
-        self.busy_core_time += dt * rate * len(self._jobs)
-        for job in finished:
-            del self._jobs[job.jid]
-            job.token.complete(self.sim)
+                if finished is None:
+                    finished = [job]
+                else:
+                    finished.append(job)
+        self.busy_core_time += done * n
+        if finished is not None:
+            for job in finished:
+                del jobs[job.jid]
+                job.token.complete(self.sim)
 
     def _reschedule(self) -> None:
         """(Re)arm the completion event for the earliest-finishing job."""
         if self._next_event is not None:
             self.sim.cancel(self._next_event)
             self._next_event = None
-        if not self._jobs:
+        jobs = self._jobs
+        if not jobs:
             return
-        rate = self.rate_per_job
-        shortest = min(job.remaining for job in self._jobs.values())
+        n = len(jobs)
+        rate = min(1.0, self.cores / n) * self.speed
+        shortest = None
+        for job in jobs.values():
+            r = job.remaining
+            if shortest is None or r < shortest:
+                shortest = r
         eta = shortest / rate
         self._next_event = self.sim.schedule(eta, self._on_completion)
 

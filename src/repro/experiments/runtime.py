@@ -261,6 +261,7 @@ def materialize(
     ] = None,
     metrics: bool = False,
     watchdog: Optional[str] = None,
+    fast_path: Optional[bool] = None,
 ) -> Runtime:
     """Build the live simulation a scenario describes (without running it).
 
@@ -288,8 +289,28 @@ def materialize(
             cluster/apps/controller.  Same contract as ``metrics``: an
             observation switch whose heartbeat self-compensates the step
             counter, so result content hashes are unchanged.
+        fast_path: flow-granularity fabric fast path.  ``None`` (default)
+            enables it automatically — unless ``$REPRO_FAST_PATH`` is
+            ``0``/``off``/``false``, or the scenario configures faults or
+            netem impairment (crashes strand in-flight segments and netem
+            reorders arrivals, both of which need packet granularity).
+            ``True``/``False`` force the mode (the automatic fault/netem
+            fallback still applies).  Byte-identical results either way —
+            the determinism hash tests pin exactly this.
     """
     config = scenario.config
+
+    if fast_path is None:
+        env = os.environ.get(FAST_PATH_ENV)
+        fast_path = env is None or env.strip().lower() not in (
+            "0", "off", "false", "no",
+        )
+    fast_path = (
+        fast_path
+        and scenario.faults is None
+        and config.netem_loss == 0
+        and config.netem_delay == 0
+    )
 
     # Resolve the scenario's declarative build hooks up front: an unknown
     # hook name must fail before any simulator state exists, and at most
@@ -324,6 +345,7 @@ def materialize(
         window_jitter=config.window_jitter,
         switch_buffer_bytes=config.switch_buffer_bytes,
         rto=config.rto,
+        fast_path=fast_path,
     )
     if on_cluster is not None:
         on_cluster(cluster)
@@ -531,6 +553,11 @@ def materialize(
 #: pool workers, so ``REPRO_WATCHDOG=warn tensorlights ...`` watches a
 #: whole parallel sweep without any call-site plumbing.
 WATCHDOG_ENV = "REPRO_WATCHDOG"
+
+#: Kill switch for the flow-granularity fabric fast path:
+#: ``REPRO_FAST_PATH=0`` forces packet granularity everywhere (an A/B
+#: escape hatch; results are byte-identical either way).
+FAST_PATH_ENV = "REPRO_FAST_PATH"
 
 
 def execute_scenario(

@@ -52,23 +52,26 @@ class Message:
         return self.delivered_at - self.created_at
 
 
-@dataclass(slots=True)
 class Segment:
     """One NIC-serializable slice of a message.
 
     ``flow`` is copied out of the message at construction: it is read on
     every classify/enqueue/transport hop, and a direct slot beats a
-    property + attribute chase on the per-segment hot path.
+    property + attribute chase on the per-segment hot path.  A plain
+    class rather than a dataclass: the generated ``__init__`` +
+    ``__post_init__`` pair is two call frames per segment, and segments
+    are identity objects (never compared by value).
     """
 
-    message: Message
-    index: int
-    size: int
-    is_last: bool
-    flow: FlowKey = field(init=False)
+    __slots__ = ("message", "index", "size", "is_last", "flow")
 
-    def __post_init__(self) -> None:
-        self.flow = self.message.flow
+    def __init__(self, message: Message, index: int, size: int,
+                 is_last: bool) -> None:
+        self.message = message
+        self.index = index
+        self.size = size
+        self.is_last = is_last
+        self.flow = message.flow
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Seg msg={self.message.msg_id} #{self.index} {self.size}B>"
@@ -79,11 +82,12 @@ def segment_message(message: Message, segment_bytes: int) -> list[Segment]:
     if segment_bytes <= 0:
         raise NetworkError(f"segment_bytes must be positive, got {segment_bytes}")
     segments: list[Segment] = []
+    append = segments.append
     remaining = message.size
     index = 0
-    while remaining > 0:
-        size = min(segment_bytes, remaining)
-        remaining -= size
-        segments.append(Segment(message, index, size, is_last=remaining == 0))
+    while remaining > segment_bytes:
+        append(Segment(message, index, segment_bytes, False))
+        remaining -= segment_bytes
         index += 1
+    append(Segment(message, index, remaining, True))
     return segments

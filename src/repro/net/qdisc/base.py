@@ -18,6 +18,16 @@ class Qdisc:
       *at time now*, or ``None``.  ``None`` with ``backlog > 0`` means the
       qdisc is shaping; the caller should retry at ``next_ready_time(now)``.
     * A work-conserving qdisc never returns ``None`` while backlogged.
+
+    Interaction with the flow-level fast path: the fabric's granularity
+    switch (``VirtualOutputPort`` vs ``OutputPort``) lives entirely
+    *behind* the NIC serializer, so qdiscs never see it — every segment
+    still passes through ``enqueue``/``dequeue`` at its real timestamps
+    and HTB/TBF token buckets accrue and spend identically in both
+    modes.  This is load-bearing for exactness: shaped qdiscs carry
+    continuous token state, and any fast-path shortcut that skipped (or
+    batched) dequeues would de-synchronize that state from the packet-
+    granularity timeline the content hashes pin.
     """
 
     #: True when dequeue(now) never returns None while backlogged.

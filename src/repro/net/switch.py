@@ -4,6 +4,23 @@ Each attached host gets an egress port with a FIFO queue draining at the
 port's link rate.  The switch is deliberately *not* priority-aware: the
 paper's whole point is that end-host scheduling alone suffices, so the
 fabric stays vanilla.
+
+Two port granularities share one behaviour:
+
+* :class:`OutputPort` — packet granularity: every segment costs an
+  ingress event, a serialization-done event and a delivery event.
+* :class:`VirtualOutputPort` — flow granularity (the fast path): because
+  every link into a port has the same propagation latency, segments
+  arrive in the order their senders finished serializing them, so the
+  whole FIFO service schedule — queueing, tail drops, departure times —
+  is computable *at admission time*.  The port advances bytes
+  analytically and schedules real events only where the outside world
+  must observe something: one completion event per message (which lazily
+  delivers the segments that matured before it) and one notification
+  event per tail drop (so RTO timers and window halving fire at the
+  exact packet-granularity times).  The elided events are credited back
+  to ``sim._steps``, keeping ``sim_events`` — and therefore the pinned
+  result content hashes — byte-identical to packet granularity.
 """
 
 from __future__ import annotations
@@ -44,6 +61,8 @@ class OutputPort:
         "max_backlog",
         "drops",
         "dropped_bytes",
+        "_m_gen",
+        "_m_drops",
     )
 
     def __init__(
@@ -70,25 +89,37 @@ class OutputPort:
         self.max_backlog = 0
         self.drops = 0
         self.dropped_bytes = 0
+        # Per-site metric handle cache (see MetricsRegistry.generation).
+        self._m_gen = -1
+        self._m_drops = None
+
+    def _record_drop(self, seg: Segment) -> None:
+        """Count a tail drop and notify the sender (shared by both modes)."""
+        self.drops += 1
+        self.dropped_bytes += seg.size
+        sim = self.sim
+        if sim.trace.enabled:
+            sim.trace.record(
+                "switch_drop", port=self.host_id, flow=str(seg.flow),
+                seg=seg.index, msg=seg.message.msg_id,
+            )
+        metrics = sim.metrics
+        if metrics.enabled:
+            if metrics.generation != self._m_gen:
+                self._m_gen = metrics.generation
+                self._m_drops = metrics.counter(
+                    "switch_port_drops", port=self.host_id
+                )
+            self._m_drops.value += 1.0  # Counter.inc inlined (hot under incast)
+        if self.on_drop is not None:
+            self.on_drop(seg)
 
     def enqueue(self, seg: Segment) -> None:
         if (
             self.buffer_bytes is not None
             and self._queued_bytes + seg.size > self.buffer_bytes
         ):
-            self.drops += 1
-            self.dropped_bytes += seg.size
-            if self.sim.trace.enabled:
-                self.sim.trace.record(
-                    "switch_drop", port=self.host_id, flow=str(seg.flow),
-                    seg=seg.index, msg=seg.message.msg_id,
-                )
-            if self.sim.metrics.enabled:
-                self.sim.metrics.counter(
-                    "switch_port_drops", port=self.host_id
-                ).inc()
-            if self.on_drop is not None:
-                self.on_drop(seg)
+            self._record_drop(seg)
             return
         self._queue.append(seg)
         self._queued_bytes += seg.size
@@ -119,6 +150,215 @@ class OutputPort:
         return len(self._queue)
 
 
+class VirtualOutputPort(OutputPort):
+    """Flow-granularity egress port: analytic FIFO service at admission.
+
+    Exactness argument (the fast path must be *exact*, not approximate):
+    all links into a port share one propagation latency ``L``, so the
+    order in which senders finish serializing equals the order segments
+    reach the port — admissions are made in arrival order, and FIFO
+    service is a pure function of that order.  ``admit`` therefore
+    computes the packet-granularity service start/end, tail-drop decision
+    and delivery time with the *same floating-point expressions* the
+    event-driven port evaluates, and schedules only:
+
+    * a drop-notification event at the segment's arrival time (so the
+      sender's window halving and RTO timer keep their exact packet
+      timings), and
+    * a completion event at the delivery time of a message's final byte,
+      which settles (actually delivers) every earlier segment still
+      pending at this port.  Settling late is safe because non-final
+      segment delivery is time-blind — it only moves bytes into receive
+      counters — while every time-visible effect (message completion,
+      ``delivered_at``, listener callbacks) happens in the completion
+      event at its exact packet-granularity time.  Readers that sample
+      receive counters mid-run (host samplers, invariant checks) call
+      :meth:`settle` first, which matures exactly the deliveries packet
+      granularity would have executed by then.
+
+    The events elided per segment are credited back to ``sim._steps`` so
+    ``sim_events`` (part of the pinned result content hash) is identical
+    to packet granularity.
+
+    One inherited packet-granularity behaviour needs care at ties: a
+    queued segment leaves the drop-accounting queue when its service
+    *starts*.  When a service start coincides exactly with a new arrival,
+    packet granularity orders the two events by schedule sequence: the
+    predecessor's serialization-done event was scheduled at its own
+    service start, the arrival's ingress event at ``arrival - L`` — so
+    the service counts as started iff it was scheduled no later
+    (``prev_start <= arrival - L``), or the segment started at its own
+    arrival into an idle port (its ingress event ran first).
+    """
+
+    __slots__ = (
+        "_free_at",
+        "_last_start",
+        "_wait",
+        "_pending",
+        "_acc",
+        "_rate",
+        "_lat",
+        "_rx_nic",
+    )
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._free_at = 0.0
+        self._last_start = float("-inf")
+        #: drop-accounting queue: (start, size, idle_start, prev_start)
+        self._wait: Deque[tuple] = deque()
+        #: undelivered segments: (delivery_time, seg, size, service_time)
+        self._pending: Deque[tuple] = deque()
+        #: accepted bytes per in-flight message (completion detection)
+        self._acc: Dict[int, int] = {}
+        # Link is frozen; plain float slots beat the two-hop attribute
+        # chase on every admission.
+        self._rate = self.link.rate
+        self._lat = self.link.latency
+        #: when the topology wires the destination NIC here, ``settle``
+        #: updates its RX counters inline instead of going through
+        #: ``NIC.receive`` (one call frame per delivered segment)
+        self._rx_nic = None
+
+    def enqueue(self, seg: Segment) -> None:
+        """Event-time admission (no lookahead): used when the caller is
+        itself running inside the segment's real ingress event."""
+        self.admit(seg, self.sim.now, elided_ingress=False)
+
+    def admit(self, seg: Segment, arrival: float,
+              elided_ingress: bool = True) -> None:
+        """Admit a segment that will reach this port at ``arrival``.
+
+        ``elided_ingress`` says whether the caller skipped the ingress
+        event packet granularity would have executed (the star topology
+        admits straight from the sender NIC, one link latency ahead).
+        """
+        sim = self.sim
+        size = seg.size
+        lat = self._lat
+        # Purge entries whose service has started by this arrival — the
+        # analytic analogue of the pops the serializer's events performed.
+        wait = self._wait
+        queued = self._queued_bytes
+        popleft = wait.popleft
+        while wait:
+            entry = wait[0]
+            start = entry[0]
+            if start < arrival:
+                popleft()
+                queued -= entry[1]
+            elif start == arrival and (entry[2] or entry[3] <= arrival - lat):
+                popleft()
+                queued -= entry[1]
+            else:
+                break
+        buf = self.buffer_bytes
+        if buf is not None and queued + size > buf:
+            self._queued_bytes = queued
+            if not elided_ingress:
+                self._record_drop(seg)
+            elif sim.trace.enabled or sim.metrics.enabled:
+                # The drop becomes observable (trace stamp, counters,
+                # sender RTO) at arrival time, in its own event — exactly
+                # where packet granularity ran the ingress event.  Net
+                # event count is unchanged, so no step credit.
+                sim.schedule_at_fire(arrival, self._record_drop, (seg,))
+            else:
+                # No observer needs the wrapper: count now (cumulative
+                # counters, read at settle points), fire only the sender
+                # notification at its exact packet time.
+                self.drops += 1
+                self.dropped_bytes += size
+                on_drop = self.on_drop
+                if on_drop is not None:
+                    sim.schedule_at_fire(arrival, on_drop, (seg,))
+                else:
+                    # Packet mode would still have run the ingress event.
+                    sim._steps += 1
+                    sim._elided += 1
+            return
+        free_at = self._free_at
+        idle = free_at < arrival
+        start = arrival if idle else free_at
+        wait.append((start, size, idle, self._last_start))
+        queued += size
+        self._queued_bytes = queued
+        if len(wait) > self.max_backlog:
+            self.max_backlog = len(wait)
+        self._last_start = start
+        # Same float expressions as the event-driven serializer.
+        done = start + size / self._rate
+        self._free_at = done
+        delivery = done + lat
+        self._pending.append((delivery, seg, size, done - start))
+        acc = self._acc
+        msg = seg.message
+        mid = msg.msg_id
+        got = acc.get(mid, 0) + size
+        # Packet granularity would execute ingress (if elided) + one
+        # serialization-done + one delivery event for this segment; we
+        # execute at most the completion event.  Credit the difference.
+        credit = 3 if elided_ingress else 2
+        if got >= msg.size:
+            # pop, not del: a duplicated segment (spurious retransmit)
+            # can cross msg.size a second time with no accumulator entry
+            # — mirroring the transport's reassembly, which also byte-
+            # counts without dedup and completes the message again.
+            acc.pop(mid, None)
+            sim.schedule_at_fire(delivery, self.settle)
+            credit -= 1
+        else:
+            acc[mid] = got
+        sim._steps += credit
+        sim._elided += credit
+
+    def settle(self) -> None:
+        """Deliver every pending segment whose delivery time has matured.
+
+        Runs as each message's completion event, and on demand from
+        mid-run counter readers (samplers, invariants, scrape).
+        """
+        now = self.sim.now
+        pending = self._pending
+        if not pending or pending[0][0] > now:
+            return
+        nic = self._rx_nic
+        popleft = pending.popleft
+        if nic is not None:
+            # NIC.receive inlined: counter bumps + the transport callback.
+            on_receive = nic.on_receive
+            while pending and pending[0][0] <= now:
+                entry = popleft()
+                size = entry[2]
+                self.bytes_tx += size
+                self.busy_time += entry[3]
+                nic.bytes_rx += size
+                nic.segments_rx += 1
+                if on_receive is not None:
+                    on_receive(entry[1])
+            return
+        deliver = self.deliver
+        while pending and pending[0][0] <= now:
+            entry = popleft()
+            self.bytes_tx += entry[2]
+            self.busy_time += entry[3]
+            deliver(entry[1])
+
+    @property
+    def backlog(self) -> int:
+        """Segments queued but not yet in service at the current time."""
+        now = self.sim.now
+        lat = self.link.latency
+        n = 0
+        for start, _size, idle, prev_start in self._wait:
+            if start > now or (
+                start == now and not idle and prev_start > now - lat
+            ):
+                n += 1
+        return n
+
+
 class Switch:
     """Routes segments to the egress port of their destination host."""
 
@@ -128,11 +368,15 @@ class Switch:
         name: str = "sw0",
         buffer_bytes: Optional[float] = None,
         on_drop: Optional[Callable[[Segment], None]] = None,
+        fast_path: bool = False,
     ) -> None:
         self.sim = sim
         self.name = name
         self.buffer_bytes = buffer_bytes
         self.on_drop = on_drop
+        #: flow-granularity egress ports (see VirtualOutputPort); the
+        #: topology builder turns this on, never the scenario itself
+        self.fast_path = fast_path
         self._ports: Dict[str, OutputPort] = {}
         self.segments_forwarded = 0
 
@@ -145,7 +389,8 @@ class Switch:
         """Create the egress port toward ``host_id``."""
         if host_id in self._ports:
             raise NetworkError(f"host {host_id} already attached to {self.name}")
-        port = OutputPort(
+        port_cls = VirtualOutputPort if self.fast_path else OutputPort
+        port = port_cls(
             self.sim, host_id, link, deliver,
             buffer_bytes=self.buffer_bytes,
             on_drop=self.on_drop,
@@ -170,6 +415,18 @@ class Switch:
             )
         self.segments_forwarded += 1
         port.enqueue(seg)
+
+    def admit(self, seg: Segment, arrival: float) -> None:
+        """Fast-path ingress: the sender NIC routes the segment at
+        serialization end, one link latency before it reaches the fabric
+        (requires ``fast_path`` ports)."""
+        port = self._ports.get(seg.flow.dst_host)
+        if port is None:
+            raise NetworkError(
+                f"switch {self.name}: no port for destination {seg.flow.dst_host!r}"
+            )
+        self.segments_forwarded += 1
+        port.admit(seg, arrival)
 
     def port(self, host_id: str) -> Optional[OutputPort]:
         return self._ports.get(host_id)

@@ -100,6 +100,15 @@ class Transport:
         "segments_lost",
         "segments_retransmitted",
         "chaos_leak_segments",
+        "_window_stream",
+        "_window_rng",
+        "_window_buf",
+        "_window_buf_i",
+        "_m_gen",
+        "_m_lost",
+        "_m_retx",
+        "_m_delivered",
+        "_m_latency",
     )
 
     def __init__(
@@ -153,6 +162,16 @@ class Transport:
         #: the conservation/flow-leak invariants exist to catch.  Never set
         #: outside tests; it deliberately breaks the transport.
         self.chaos_leak_segments = 0
+        self._window_stream = f"tcp-window/{nic.host_id}"
+        self._window_rng = None
+        self._window_buf = None
+        self._window_buf_i = 0
+        # Per-site metric handle cache (see MetricsRegistry.generation).
+        self._m_gen = -1
+        self._m_lost = None
+        self._m_retx = None
+        self._m_delivered = None
+        self._m_latency = None
 
         nic.on_segment_sent = self._on_segment_serialized
         nic.on_receive = self._on_segment_arrival
@@ -182,38 +201,105 @@ class Transport:
         self._refill(message.flow, state)
 
     def _draw_window(self) -> int:
-        if self.window_jitter == 0.0:
+        jitter = self.window_jitter
+        if jitter == 0.0:
             return self.window_segments
-        factor = self.sim.rng.uniform(
-            f"tcp-window/{self.nic.host_id}",
-            1.0 - self.window_jitter,
-            1.0 + self.window_jitter,
+        # Draws are prefetched in blocks: Generator.uniform(size=n)
+        # consumes the bit stream exactly like n scalar calls, so the
+        # drawn sequence — pinned by the result hashes — is unchanged,
+        # while the per-draw numpy call overhead is amortized (windows
+        # are drawn per flow and per RTO flow resurrect, which is hot
+        # under incast).
+        i = self._window_buf_i
+        buf = self._window_buf
+        if buf is None or i >= len(buf):
+            rng = self._window_rng
+            if rng is None:
+                rng = self._window_rng = self.sim.rng.stream(self._window_stream)
+            buf = self._window_buf = rng.uniform(1.0 - jitter, 1.0 + jitter, 256)
+            i = 0
+        self._window_buf_i = i + 1
+        return max(1, round(self.window_segments * float(buf[i])))
+
+    def _refresh_metric_handles(self) -> None:
+        metrics = self.sim.metrics
+        self._m_gen = metrics.generation
+        host = self.nic.host_id
+        self._m_lost = metrics.counter("transport_segments_lost", host=host)
+        self._m_retx = metrics.counter("transport_retransmits", host=host)
+        self._m_delivered = metrics.counter(
+            "transport_messages_delivered", host=host
         )
-        return max(1, round(self.window_segments * factor))
+        self._m_latency = metrics.histogram(
+            "transport_msg_latency_seconds", host=host
+        )
 
     def _refill(self, flow: FlowKey, state: _SendState) -> None:
         # Burst fast path: while the window allows, hand segments to the
         # NIC back to back.  ``nic.send`` only touches the qdisc (the
         # serializer keeps draining on its own clock), so no scheduling
         # decision can change between two pushes of the same burst — but
-        # ``state.window`` can (a loss-tolerant NIC reports egress drops
-        # synchronously), so the bound is re-read each iteration.
+        # ``state.window`` can when the NIC is loss-tolerant (egress
+        # drops are reported synchronously), so only that case re-reads
+        # the bound each iteration.
         pending = state.pending
-        send = self.nic.send
-        while pending and state.in_flight < int(state.window):
-            seg = pending.popleft()
-            state.in_flight += 1
-            send(seg)
+        nic = self.nic
+        send = nic.send
+        if nic.loss_tolerant:
+            while pending and state.in_flight < int(state.window):
+                seg = pending.popleft()
+                state.in_flight += 1
+                send(seg)
+        else:
+            limit = int(state.window)
+            n = state.in_flight
+            while pending and n < limit:
+                seg = pending.popleft()
+                n += 1
+                # Write-through before the send: a qdisc-full NetworkError
+                # must leave the same state the per-iteration loop would.
+                state.in_flight = n
+                send(seg)
         if state.in_flight == 0 and not pending:
             del self._send_states[flow]
 
     def _on_segment_serialized(self, seg: Segment) -> None:
-        state = self._send_states.get(seg.flow)
-        if state is None:
+        flow = seg.flow
+        try:
+            state = self._send_states[flow]
+        except KeyError:
             return  # flow already drained (last segment)
-        state.in_flight -= 1
-        state.on_progress()
-        self._refill(seg.flow, state)
+        n = state.in_flight - 1
+        state.in_flight = n
+        # _SendState.on_progress inlined (hottest transport call site).
+        w = state.window
+        bw = state.base_window
+        if w < bw:
+            if w < state.ssthresh:
+                w += 1.0
+            else:
+                w += 1.0 / w
+            state.window = w if w < bw else bw
+        # _refill inlined for the common (not loss-tolerant) NIC: this
+        # runs once per serialized segment, and the extra frame showed
+        # up in profiles.  Semantics identical to ``self._refill``.
+        nic = self.nic
+        if nic.loss_tolerant:
+            self._refill(flow, state)
+            return
+        pending = state.pending
+        if pending:
+            limit = int(state.window)
+            send = nic.send
+            while n < limit:
+                seg2 = pending.popleft()
+                n += 1
+                state.in_flight = n
+                send(seg2)
+                if not pending:
+                    break
+        if n == 0 and not pending:
+            del self._send_states[flow]
 
     # -- loss recovery -----------------------------------------------------
 
@@ -224,14 +310,17 @@ class Transport:
         after ``rto`` seconds and the flow's congestion window halves.
         """
         self.segments_lost += 1
-        if self.sim.metrics.enabled:
-            self.sim.metrics.counter(
-                "transport_segments_lost", host=self.nic.host_id
-            ).inc()
-        state = self._send_states.get(seg.flow)
-        if state is not None:
-            state.on_loss()
-        self.sim.schedule(self.rto, self._retransmit, (seg,))
+        sim = self.sim
+        metrics = sim.metrics
+        if metrics.enabled:
+            if metrics.generation != self._m_gen:
+                self._refresh_metric_handles()
+            self._m_lost.value += 1.0  # Counter.inc inlined (hot under incast)
+        try:
+            self._send_states[seg.flow].on_loss()
+        except KeyError:
+            pass  # flow drained meanwhile; the retransmit resurrects it
+        sim.schedule_fire(self.rto, self._retransmit, (seg,))
 
     def _on_local_drop(self, seg: Segment) -> None:
         """The local egress qdisc AQM-dropped an accepted segment.
@@ -248,9 +337,9 @@ class Transport:
     def _retransmit(self, seg: Segment) -> None:
         self.segments_retransmitted += 1
         if self.sim.metrics.enabled:
-            self.sim.metrics.counter(
-                "transport_retransmits", host=self.nic.host_id
-            ).inc()
+            if self.sim.metrics.generation != self._m_gen:
+                self._refresh_metric_handles()
+            self._m_retx.value += 1.0  # Counter.inc inlined (hot under incast)
         state = self._send_states.get(seg.flow)
         if state is None:
             # Flow drained at the sender meanwhile: resurrect it (with a
@@ -289,16 +378,14 @@ class Transport:
         del self._recv_states[msg.msg_id]
         msg.delivered_at = self.sim.now
         self.messages_delivered += 1
-        if self.sim.metrics.enabled:
-            metrics = self.sim.metrics
-            metrics.counter(
-                "transport_messages_delivered", host=self.nic.host_id
-            ).inc()
+        metrics = self.sim.metrics
+        if metrics.enabled:
+            if metrics.generation != self._m_gen:
+                self._refresh_metric_handles()
+            self._m_delivered.value += 1.0  # Counter.inc inlined (per message)
             # Sender-stamped-to-delivered latency: the message-level RTT
             # stand-in (the transport does not simulate per-segment ACKs).
-            metrics.histogram(
-                "transport_msg_latency_seconds", host=self.nic.host_id
-            ).observe(self.sim.now - msg.created_at)
+            self._m_latency.observe(self.sim.now - msg.created_at)
         if self.sim.trace.enabled:
             self.sim.trace.record(
                 "msg_recv", flow=str(msg.flow), msg=msg.msg_id,
@@ -308,10 +395,11 @@ class Transport:
         if listener is None:
             if self.tolerate_unrouted:
                 self.messages_unrouted += 1
-                self.sim.trace.record(
-                    "msg_unrouted", flow=str(msg.flow), msg=msg.msg_id,
-                    msg_kind=msg.kind,
-                )
+                if self.sim.trace.enabled:
+                    self.sim.trace.record(
+                        "msg_unrouted", flow=str(msg.flow), msg=msg.msg_id,
+                        msg_kind=msg.kind,
+                    )
                 return
             raise NetworkError(
                 f"no listener on {self.nic.host_id}:{msg.flow.dst_port} "

@@ -21,7 +21,7 @@ from repro.errors import NetworkError
 from repro.net.link import Link
 from repro.net.nic import NIC
 from repro.net.packet import Segment
-from repro.net.switch import OutputPort
+from repro.net.switch import OutputPort, VirtualOutputPort
 from repro.net.topology import DeliveryTap, _chain_deliver
 from repro.net.transport import (
     DEFAULT_SEGMENT_BYTES,
@@ -44,6 +44,7 @@ class LeafSwitch:
         uplink: Link,
         buffer_bytes: Optional[float],
         on_drop: Optional[Callable[[Segment], None]],
+        fast_path: bool = False,
     ) -> None:
         self.sim = sim
         self.name = name
@@ -51,12 +52,15 @@ class LeafSwitch:
         self.uplink_link = uplink
         self.buffer_bytes = buffer_bytes
         self.on_drop = on_drop
+        #: flow-granularity *final-hop* ports (see TwoTierNetwork docs)
+        self.fast_path = fast_path
         self._host_ports: Dict[str, OutputPort] = {}
         self.uplink: Optional[OutputPort] = None  # wired by the topology
         self.local_hosts: set[str] = set()
 
     def attach_host(self, host_id: str, deliver: Callable[[Segment], None]) -> None:
-        self._host_ports[host_id] = OutputPort(
+        port_cls = VirtualOutputPort if self.fast_path else OutputPort
+        self._host_ports[host_id] = port_cls(
             self.sim, host_id, self.host_link, deliver,
             buffer_bytes=self.buffer_bytes, on_drop=self.on_drop,
         )
@@ -126,7 +130,18 @@ class TwoTierNetwork:
         window_jitter: float = 0.0,
         buffer_bytes: Optional[float] = None,
         rto: float = 0.2,
+        fast_path: bool = False,
     ) -> None:
+        """``fast_path`` runs the *final-hop* (leaf host) ports at flow
+        granularity (:class:`~repro.net.switch.VirtualOutputPort`):
+        admission happens inside the segment's real arrival event (the
+        zero-lookahead ``enqueue`` path), so it is exact regardless of
+        how many hops and latencies the segment crossed, and the
+        serialization + delivery events of the last hop are elided.
+        Middle hops (leaf uplinks, spine downlinks) stay at packet
+        granularity: their deliveries feed the *next* port's admission
+        order, which a lazily-settling port cannot guarantee.  Like all
+        observation-level switches, this must never change results."""
         if n_leaves < 1:
             raise NetworkError("need >= 1 leaf")
         if len(host_ids) < n_leaves:
@@ -135,6 +150,7 @@ class TwoTierNetwork:
             raise NetworkError("oversubscription must be >= 1")
         self.sim = sim
         self.link = link if link is not None else Link(rate=1.25e9)
+        self.fast_path = fast_path
         self.nics: Dict[str, NIC] = {}
         self.transports: Dict[str, Transport] = {}
         self._delivery_taps: List[DeliveryTap] = []
@@ -155,6 +171,7 @@ class TwoTierNetwork:
                 sim, f"leaf{li}", self.link,
                 Link(rate=uplink_rate, latency=self.link.latency),
                 buffer_bytes, drop_to_sender,
+                fast_path=fast_path,
             )
             self.leaves.append(leaf)
             for hid in hosts:
@@ -163,6 +180,10 @@ class TwoTierNetwork:
                 nic = NIC(sim, hid, rate=self.link.rate)
                 nic.attach_link(leaf.ingress, self.link.latency)
                 leaf.attach_host(hid, nic.receive)
+                if fast_path:
+                    port = leaf._host_ports[hid]
+                    nic._rx_settle = port.settle
+                    port._rx_nic = nic
                 self.nics[hid] = nic
                 self.transports[hid] = Transport(
                     sim, nic, segment_bytes=segment_bytes,

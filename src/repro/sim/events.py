@@ -87,20 +87,31 @@ class Event:
         return f"<Event t={self.time:.6f} prio={self.priority} seq={self.seq} {state}>"
 
 
-#: One heap entry: ``(time, priority, seq, event)``.
-Entry = Tuple[float, int, int, Event]
+#: One heap entry — two shapes share the heap:
+#:
+#: * ``(time, priority, seq, event)`` — a cancellable :class:`Event`;
+#: * ``(time, priority, seq, None, fn, args)`` — a raw fire-and-forget
+#:   entry pushed by ``Simulator.schedule_fire`` (hot path: no Event
+#:   allocation, never cancelled).
+#:
+#: Mixed lengths compare fine: ``seq`` is globally unique, so tuple
+#: comparison is always decided within the first three fields.
+Entry = Tuple[float, int, int, Optional[Event]]
 
 
 class EventQueue:
     """A binary-heap priority queue of :class:`Event` objects."""
 
-    __slots__ = ("_heap", "_seq", "_live", "_tombstones")
+    __slots__ = ("_heap", "_seq", "_live", "_tombstones", "cancels")
 
     def __init__(self) -> None:
         self._heap: list[Entry] = []
         self._seq = 0
         self._live = 0
         self._tombstones = 0
+        #: cumulative effective cancellations (kernel-stats aid: re-arm
+        #: churn shows up here long before the compactor has to run)
+        self.cancels = 0
 
     def __len__(self) -> int:
         return self._live
@@ -132,7 +143,15 @@ class EventQueue:
         """
         heap = self._heap
         while heap:
-            ev = heapq.heappop(heap)[3]
+            entry = heapq.heappop(heap)
+            ev = entry[3]
+            if ev is None:
+                # Raw fire-and-forget entry: wrap it so callers see the
+                # uniform Event interface (only the non-hot `step` path).
+                self._live -= 1
+                ev = Event(entry[0], entry[1], entry[2], entry[4], entry[5])
+                ev.pending = False
+                return ev
             if ev.cancelled:
                 self._tombstones -= 1
                 continue
@@ -153,20 +172,27 @@ class EventQueue:
         ev.cancel()
         self._live -= 1
         self._tombstones += 1
+        self.cancels += 1
         if self._tombstones > _MIN_COMPACT and self._tombstones > self._live:
             self._compact()
 
     def _compact(self) -> None:
         """Drop every cancelled entry and re-heapify (in place)."""
         heap = self._heap
-        heap[:] = [entry for entry in heap if not entry[3].cancelled]
+        heap[:] = [
+            entry for entry in heap
+            if entry[3] is None or not entry[3].cancelled
+        ]
         heapq.heapify(heap)
         self._tombstones = 0
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` when empty."""
         heap = self._heap
-        while heap and heap[0][3].cancelled:
+        while heap:
+            ev = heap[0][3]
+            if ev is None or not ev.cancelled:
+                break
             heapq.heappop(heap)
             self._tombstones -= 1
         return heap[0][0] if heap else None
@@ -178,7 +204,8 @@ class EventQueue:
 
     def clear(self) -> None:
         for entry in self._heap:
-            entry[3].pending = False
+            if entry[3] is not None:
+                entry[3].pending = False
         self._heap.clear()
         self._live = 0
         self._tombstones = 0

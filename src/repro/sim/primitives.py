@@ -45,14 +45,14 @@ class _Suspend(Waitable):
         self._proc = proc
         if self._has_value:
             # Completed before the process yielded on it: resume next tick.
-            sim.schedule(0.0, proc._resume, (self._value,))
+            sim.schedule_fire(0.0, proc._resume, (self._value,))
 
     def complete(self, sim: "Simulator", value: Any = None) -> None:
         if self._done:
             raise SimulationError("suspension token completed twice")
         self._done = True
         if self._proc is not None:
-            sim.schedule(0.0, self._proc._resume, (value,))
+            sim.schedule_fire(0.0, self._proc._resume, (value,))
         else:
             self._has_value = True
             self._value = value
@@ -83,7 +83,7 @@ class Signal(Waitable):
 
     def _register(self, sim: "Simulator", proc: Process) -> None:
         if self._fired:
-            sim.schedule(0.0, proc._resume, (self._value,))
+            sim.schedule_fire(0.0, proc._resume, (self._value,))
         else:
             self._waiters.append((sim, proc))
 
@@ -96,7 +96,7 @@ class Signal(Waitable):
         self._value = value
         waiters, self._waiters = self._waiters, []
         for sim, proc in waiters:
-            sim.schedule(0.0, proc._resume, (value,))
+            sim.schedule_fire(0.0, proc._resume, (value,))
 
 
 class Mailbox:
@@ -227,7 +227,7 @@ class AllOf(Waitable):
     def _register(self, sim: "Simulator", proc: Process) -> None:
         pending = [s for s in self.signals if not s.fired]
         if not pending:
-            sim.schedule(0.0, proc._resume, ([s.value for s in self.signals],))
+            sim.schedule_fire(0.0, proc._resume, ([s.value for s in self.signals],))
             return
 
         remaining = {"n": len(pending)}

@@ -54,7 +54,9 @@ class Timeout(Waitable):
         self.value = value
 
     def _register(self, sim: "Simulator", proc: "Process") -> None:
-        sim.schedule(self.delay, proc._resume, (self.value,))
+        # Resumes are never cancelled (kill() flips `alive` instead), so
+        # the allocation-free fire path applies.
+        sim.schedule_fire(self.delay, proc._resume, (self.value,))
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Timeout({self.delay!r})"

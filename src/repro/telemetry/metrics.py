@@ -24,7 +24,9 @@ by scenario content hash.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from contextlib import contextmanager
+from itertools import accumulate
 from typing import Any, Callable, Dict, Iterator, Optional, Tuple
 
 from repro.errors import ConfigError
@@ -89,7 +91,7 @@ class Histogram:
     the implicit ``+Inf`` bucket (tracked by ``count``).
     """
 
-    __slots__ = ("name", "labels", "buckets", "bucket_counts",
+    __slots__ = ("name", "labels", "buckets", "_raw_counts",
                  "count", "sum", "min", "max")
 
     def __init__(self, name: str, labels: LabelItems,
@@ -99,7 +101,7 @@ class Histogram:
         self.name = name
         self.labels = labels
         self.buckets = tuple(buckets)
-        self.bucket_counts = [0] * len(self.buckets)
+        self._raw_counts = [0] * len(self.buckets)
         self.count = 0
         self.sum = 0.0
         self.min = math.inf
@@ -112,9 +114,19 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.bucket_counts[i] += 1
+        # One C-level bisect instead of a Python loop over every bucket:
+        # observe() runs per message on the transport latency path.
+        # Counts are stored per-bucket and cumulated on read (reads are
+        # rare — percentile / export), keeping the published
+        # ``bucket_counts`` shape identical.
+        i = bisect_left(self.buckets, value)
+        if i < len(self.buckets):
+            self._raw_counts[i] += 1
+
+    @property
+    def bucket_counts(self) -> list:
+        """Cumulative counts per bucket bound (Prometheus style)."""
+        return list(accumulate(self._raw_counts))
 
     @property
     def mean(self) -> float:
@@ -176,6 +188,13 @@ class MetricsRegistry:
     def __init__(self, enabled: bool = False) -> None:
         self.enabled = enabled
         self._now: Callable[[], float] = lambda: 0.0
+        #: Bumped by :meth:`clear`.  Hot instrument sites cache their
+        #: Counter/Histogram handles keyed by this generation instead of
+        #: re-resolving ``(name, labels)`` per event — resolving rebuilds
+        #: the sorted label tuple every call, which dominated the
+        #: metrics-enabled overhead.  A stale generation means the cached
+        #: handle was dropped by clear() and must be re-resolved.
+        self.generation = 0
         #: name -> instrument class (type registry; first caller wins)
         self._types: Dict[str, type] = {}
         self._instruments: Dict[Tuple[str, LabelItems], Any] = {}
@@ -271,6 +290,7 @@ class MetricsRegistry:
         """Drop every instrument (type registrations included)."""
         self._types.clear()
         self._instruments.clear()
+        self.generation += 1
 
     def __len__(self) -> int:
         return len(self._instruments)

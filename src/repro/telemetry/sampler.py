@@ -90,11 +90,15 @@ class HostSampler:
             self._record(sim.now)
 
     def _snapshot_counters(self) -> None:
+        # The fast-path fabric delivers lazily; flush anything that has
+        # matured so the sampled counters match packet granularity.
+        self.host.nic.settle_rx()
         self._prev_busy = self.host.cpu.utilization_snapshot()
         self._prev_rx = self.host.nic.bytes_rx
         self._prev_tx = self.host.nic.bytes_tx
 
     def _record(self, now: float) -> None:
+        self.host.nic.settle_rx()
         busy = self.host.cpu.utilization_snapshot()
         rx = self.host.nic.bytes_rx
         tx = self.host.nic.bytes_tx

@@ -1,0 +1,96 @@
+"""Histogram / window_mean edge cases (placement fingerprints consume
+these — a NaN or infinity here silently corrupts the co-design tables).
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.telemetry import ActiveWindow, window_mean
+from repro.telemetry.metrics import Histogram
+from repro.telemetry.sampler import SampleSeries
+
+
+def _hist(values, buckets=(1.0, 10.0, 100.0)):
+    h = Histogram("h", (), buckets=buckets)
+    for v in values:
+        h.observe(v)
+    return h
+
+
+def test_percentile_q0_returns_observed_min():
+    h = _hist([5.0, 7.0, 50.0])
+    assert h.percentile(0.0) == 5.0
+    assert math.isfinite(h.percentile(0.0))
+
+
+def test_percentile_q1_returns_observed_max():
+    h = _hist([5.0, 7.0, 50.0])
+    assert h.percentile(1.0) == 50.0
+
+
+def test_percentile_all_observations_in_one_bucket():
+    # every value lands in the (1, 10] bucket; interpolation must stay
+    # inside [min, max], not stretch across the whole bucket span
+    h = _hist([5.0, 5.0, 5.0, 5.0])
+    for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+        assert h.percentile(q) == 5.0
+
+
+def test_percentile_above_last_bound_lands_in_inf_bucket():
+    h = _hist([5.0, 500.0])  # 500 > last bound: +Inf bucket
+    assert h.percentile(1.0) == 500.0
+    assert math.isfinite(h.percentile(0.9))
+
+
+def test_percentile_empty_histogram_is_zero_and_finite():
+    h = _hist([])
+    for q in (0.0, 0.5, 1.0):
+        assert h.percentile(q) == 0.0
+
+
+def test_percentile_rejects_out_of_range_q():
+    h = _hist([1.0])
+    with pytest.raises(ConfigError):
+        h.percentile(-0.1)
+    with pytest.raises(ConfigError):
+        h.percentile(1.1)
+
+
+def test_percentile_estimates_stay_clamped_to_data():
+    # log-spaced buckets with data at the bucket floor: interpolation
+    # would estimate below min without the clamp
+    h = _hist([2.0, 2.0, 9.0], buckets=(1.0, 10.0, 100.0))
+    for q in (0.1, 0.5, 0.9):
+        est = h.percentile(q)
+        assert 2.0 <= est <= 9.0
+
+
+def _series(samples):
+    s = SampleSeries()
+    for t, v in samples:
+        s.add(t, v)
+    return s
+
+
+def test_window_mean_single_sample():
+    s = _series([(5.0, 3.0)])
+    assert window_mean(s, ActiveWindow(0.0, 10.0)) == 3.0
+
+
+def test_window_mean_half_open_interval():
+    s = _series([(0.0, 1.0), (5.0, 2.0), (10.0, 99.0)])
+    # start inclusive, end exclusive: the t=10 sample is outside
+    assert window_mean(s, ActiveWindow(0.0, 10.0)) == 1.5
+
+
+def test_window_mean_empty_window_raises_loudly():
+    s = _series([(0.0, 1.0)])
+    with pytest.raises(ConfigError):
+        window_mean(s, ActiveWindow(5.0, 10.0))
+
+
+def test_window_mean_empty_series_raises_loudly():
+    with pytest.raises(ConfigError):
+        window_mean(_series([]), ActiveWindow(0.0, 1.0))
